@@ -1,0 +1,75 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! bin-packing vs round-robin grouping, cell list vs O(N²) MD forces,
+//! pipelined (hyperplane) vs lexicographic LU-SGS, blocked vs naive
+//! DGEMM, pinned vs unpinned placement.
+
+use columbia_kernels::dgemm::{dgemm_blocked, dgemm_naive};
+use columbia_kernels::grid::Grid3;
+use columbia_kernels::lusgs::{forward_sweep_hyperplane, forward_sweep_lex, LuSgsCoeffs};
+use columbia_md::MdSystem;
+use columbia_npbmz::balance::{bin_pack, round_robin};
+use columbia_npbmz::zones::{uneven_zones, MzClass};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn ablation_grouping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_grouping");
+    let zones = uneven_zones(MzClass::C);
+    g.bench_function("bin_pack_64", |b| b.iter(|| bin_pack(&zones, 64)));
+    g.bench_function("round_robin_64", |b| b.iter(|| round_robin(&zones, 64)));
+    g.finish();
+}
+
+fn ablation_md_forces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_md_forces");
+    g.sample_size(10);
+    g.bench_function("cell_list", |b| {
+        let mut sys = MdSystem::fcc(6, 0.8, 0.5, 3);
+        b.iter(|| sys.compute_forces_cells());
+    });
+    g.bench_function("naive_n2", |b| {
+        let mut sys = MdSystem::fcc(6, 0.8, 0.5, 3);
+        b.iter(|| sys.compute_forces_naive());
+    });
+    g.finish();
+}
+
+fn ablation_lusgs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lusgs");
+    g.sample_size(10);
+    let rhs = Grid3::from_fn(32, 32, 32, |i, j, k| ((i + 2 * j + 3 * k) % 5) as f64);
+    g.bench_function("lexicographic", |b| {
+        let mut u = Grid3::zeros(32, 32, 32);
+        b.iter(|| forward_sweep_lex(&mut u, &rhs, LuSgsCoeffs::default()));
+    });
+    g.bench_function("hyperplane_pipelined", |b| {
+        let mut u = Grid3::zeros(32, 32, 32);
+        b.iter(|| forward_sweep_hyperplane(&mut u, &rhs, LuSgsCoeffs::default()));
+    });
+    g.finish();
+}
+
+fn ablation_dgemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dgemm");
+    g.sample_size(10);
+    let n = 192usize;
+    let a = vec![1.0e-3; n * n];
+    let bm = vec![2.0e-3; n * n];
+    g.bench_function("naive", |b| {
+        let mut cm = vec![0.0; n * n];
+        b.iter(|| dgemm_naive(n, n, n, 1.0, &a, &bm, 0.0, &mut cm));
+    });
+    g.bench_function("blocked", |b| {
+        let mut cm = vec![0.0; n * n];
+        b.iter(|| dgemm_blocked(n, n, n, 1.0, &a, &bm, 0.0, &mut cm));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_grouping,
+    ablation_md_forces,
+    ablation_lusgs,
+    ablation_dgemm
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! CFD application benches: Table 2, Table 3, Table 6 points plus the
+//! real miniature solvers.
+
+use columbia_ins3d::{iteration_seconds, AcSolver, Ins3dConfig};
+use columbia_machine::cluster::InterNodeFabric;
+use columbia_machine::node::NodeKind;
+use columbia_overflowd::{step_times, OverflowConfig, OversetPair};
+use columbia_runtime::compiler::CompilerVersion;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("ins3d_36x8_bx2b", |b| {
+        b.iter(|| iteration_seconds(&Ins3dConfig::table2(NodeKind::Bx2b, 8)));
+    });
+    g.finish();
+}
+
+fn bench_table3_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("overflowd_256_3700", |b| {
+        b.iter(|| step_times(&OverflowConfig::table3(NodeKind::Altix3700, 256)));
+    });
+    g.finish();
+}
+
+fn bench_table6_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("overflowd_2node_ib", |b| {
+        b.iter(|| {
+            step_times(&OverflowConfig {
+                kind: NodeKind::Bx2b,
+                procs: 508,
+                threads: 1,
+                nodes: 2,
+                inter: InterNodeFabric::InfiniBand,
+                compiler: CompilerVersion::V8_1,
+            })
+        });
+    });
+    g.finish();
+}
+
+fn bench_real_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cfd_real");
+    g.sample_size(10);
+    g.bench_function("ac_subiteration_16", |b| {
+        let mut s = AcSolver::duct(16, 10.0);
+        b.iter(|| s.sub_iteration());
+    });
+    g.bench_function("overset_step_12", |b| {
+        let mut p = OversetPair::new(12);
+        b.iter(|| p.step());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2_point,
+    bench_table3_point,
+    bench_table6_point,
+    bench_real_solvers
+);
+criterion_main!(benches);

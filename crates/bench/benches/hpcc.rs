@@ -1,0 +1,43 @@
+//! HPCC regeneration benches: Fig. 5 / Fig. 10 / §4.2 sweeps.
+
+use columbia_hpcc::beff;
+use columbia_hpcc::{dgemm, stream};
+use columbia_machine::cluster::InterNodeFabric;
+use columbia_machine::node::NodeKind;
+use columbia_simnet::fabric::MptVersion;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5/in_node_sweep_bx2b", |b| {
+        b.iter(|| beff::in_node_sweep(NodeKind::Bx2b, &beff::FIG5_CPUS));
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10/four_node_infiniband", |b| {
+        b.iter(|| {
+            beff::multi_node_sweep(
+                4,
+                InterNodeFabric::InfiniBand,
+                MptVersion::Beta,
+                &beff::FIG10_CPUS,
+            )
+        });
+    });
+}
+
+fn bench_dgemm_stream_models(c: &mut Criterion) {
+    c.bench_function("hpcc/dgemm_stream_stride_study", |b| {
+        b.iter(|| {
+            for kind in NodeKind::ALL {
+                for stride in [1u32, 2, 4] {
+                    let _ = dgemm::simulate(kind, stride);
+                    let _ = stream::simulate(kind, 128, stride);
+                }
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_fig5, bench_fig10, bench_dgemm_stream_models);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benches over the real computational kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use columbia_kernels::cg::{cg_solve, npb_matrix};
+use columbia_kernels::complex::Complex;
+use columbia_kernels::dgemm::{dgemm_blocked, dgemm_naive};
+use columbia_kernels::fft::fft;
+use columbia_kernels::grid::Grid3;
+use columbia_kernels::lusgs::{forward_sweep_lex, LuSgsCoeffs};
+use columbia_kernels::mg::v_cycle;
+
+fn bench_dgemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dgemm");
+    for n in [64usize, 128] {
+        let a = vec![1.0e-3; n * n];
+        let b = vec![2.0e-3; n * n];
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, &n| {
+            let mut cm = vec![0.0; n * n];
+            bch.iter(|| dgemm_naive(n, n, n, 1.0, &a, &b, 0.0, &mut cm));
+        });
+        g.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, &n| {
+            let mut cm = vec![0.0; n * n];
+            bch.iter(|| dgemm_blocked(n, n, n, 1.0, &a, &b, 0.0, &mut cm));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [1024usize, 16384] {
+        g.bench_with_input(BenchmarkId::new("radix2", n), &n, |bch, &n| {
+            let mut data: Vec<Complex> =
+                (0..n).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+            bch.iter(|| fft(&mut data));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mg(c: &mut Criterion) {
+    c.bench_function("mg/v_cycle_32", |b| {
+        let v = Grid3::from_fn(32, 32, 32, |i, j, k| ((i + j + k) % 5) as f64 - 2.0);
+        let mut u = Grid3::zeros(32, 32, 32);
+        b.iter(|| v_cycle(&mut u, &v, 2, 2));
+    });
+}
+
+fn bench_cg(c: &mut Criterion) {
+    c.bench_function("cg/solve_25_iters_n3000", |b| {
+        let a = npb_matrix(3000, 11, 7);
+        let x = vec![1.0; 3000];
+        let mut z = vec![0.0; 3000];
+        b.iter(|| cg_solve(&a, &x, &mut z, 25));
+    });
+}
+
+fn bench_lusgs(c: &mut Criterion) {
+    c.bench_function("lusgs/forward_sweep_24", |b| {
+        let rhs = Grid3::from_fn(24, 24, 24, |i, j, k| ((i * 3 + j + k) % 7) as f64);
+        let mut u = Grid3::zeros(24, 24, 24);
+        b.iter(|| forward_sweep_lex(&mut u, &rhs, LuSgsCoeffs::default()));
+    });
+}
+
+criterion_group!(benches, bench_dgemm, bench_fft, bench_mg, bench_cg, bench_lusgs);
+criterion_main!(benches);

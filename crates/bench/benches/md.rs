@@ -1,0 +1,31 @@
+//! MD benches: real force evaluation and the Table 5 scaling model.
+
+use columbia_md::scaling::weak_scaling_point;
+use columbia_md::MdSystem;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_real_forces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md_real");
+    g.sample_size(10);
+    g.bench_function("cell_list_forces_864", |b| {
+        let mut sys = MdSystem::fcc(6, 0.8, 0.5, 1);
+        b.iter(|| sys.compute_forces_cells());
+    });
+    g.bench_function("verlet_step_864", |b| {
+        let mut sys = MdSystem::fcc(6, 0.8, 0.5, 1);
+        b.iter(|| sys.step(0.002));
+    });
+    g.finish();
+}
+
+fn bench_table5_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("weak_scaling_512", |b| {
+        b.iter(|| weak_scaling_point(512));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_real_forces, bench_table5_point);
+criterion_main!(benches);

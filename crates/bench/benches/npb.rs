@@ -1,0 +1,60 @@
+//! NPB regeneration benches: Fig. 6 and Fig. 8 points.
+
+use columbia_machine::node::NodeKind;
+use columbia_npb::{gflops_per_cpu, NpbBenchmark, NpbClass, Paradigm};
+use columbia_runtime::compiler::CompilerVersion;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig6_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for bench in [NpbBenchmark::Ft, NpbBenchmark::Mg] {
+        g.bench_with_input(
+            BenchmarkId::new("mpi_256", bench.name()),
+            &bench,
+            |b, &bench| {
+                b.iter(|| {
+                    gflops_per_cpu(
+                        bench,
+                        NpbClass::B,
+                        NodeKind::Bx2b,
+                        Paradigm::Mpi,
+                        256,
+                        CompilerVersion::V7_1,
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig8_compiler_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("mg_openmp_four_compilers", |b| {
+        b.iter(|| {
+            for v in CompilerVersion::ALL {
+                let _ = gflops_per_cpu(
+                    NpbBenchmark::Mg,
+                    NpbClass::B,
+                    NodeKind::Bx2b,
+                    Paradigm::OpenMp,
+                    64,
+                    v,
+                );
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_real_class_s(c: &mut Criterion) {
+    let mut g = c.benchmark_group("npb_real");
+    g.sample_size(10);
+    g.bench_function("mg_class_s", |b| b.iter(|| columbia_npb::mg::run_real(NpbClass::S)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6_points, bench_fig8_compiler_sweep, bench_real_class_s);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! NPB-MZ regeneration benches: Fig. 7, Fig. 9, Fig. 11 points.
+
+use columbia_machine::cluster::InterNodeFabric;
+use columbia_npbmz::bench::{run, MzBenchmark, MzRunConfig};
+use columbia_npbmz::MzClass;
+use columbia_runtime::pinning::Pinning;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig9_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("btmz_classc_64x4", |b| {
+        b.iter(|| run(&MzRunConfig::new(MzBenchmark::BtMz, MzClass::C, 64, 4)));
+    });
+    g.finish();
+}
+
+fn bench_fig7_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("spmz_unpinned_8x16", |b| {
+        let mut cfg = MzRunConfig::new(MzBenchmark::SpMz, MzClass::C, 8, 16);
+        cfg.pinning = Pinning::Unpinned;
+        b.iter(|| run(&cfg));
+    });
+    g.finish();
+}
+
+fn bench_fig11_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("spmz_classe_ib_512", |b| {
+        let mut cfg = MzRunConfig::new(MzBenchmark::SpMz, MzClass::E, 512, 1);
+        cfg.nodes = 2;
+        cfg.inter = InterNodeFabric::InfiniBand;
+        b.iter(|| run(&cfg));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9_point, bench_fig7_point, bench_fig11_point);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Simulator-engine benches: raw event throughput of the
+//! discrete-event core.
+
+use columbia_machine::cluster::{ClusterConfig, CpuId};
+use columbia_machine::node::NodeKind;
+use columbia_simnet::fabric::ClusterFabric;
+use columbia_simnet::{simulate, Op};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("ring_512_ranks_10_rounds", |b| {
+        let fabric = ClusterFabric::single_node(ClusterConfig::uniform(NodeKind::Bx2b, 1));
+        let n = 512usize;
+        let cpus: Vec<CpuId> = (0..n as u32).map(|c| CpuId::new(0, c)).collect();
+        let programs: Vec<Vec<Op>> = (0..n)
+            .map(|r| {
+                let mut ops = Vec::new();
+                for round in 0..10u64 {
+                    ops.push(Op::Compute(1e-4));
+                    ops.push(Op::Send {
+                        to: (r + 1) % n,
+                        bytes: 8192,
+                        tag: round,
+                    });
+                    ops.push(Op::Recv {
+                        from: (r + n - 1) % n,
+                        tag: round,
+                    });
+                }
+                ops
+            })
+            .collect();
+        b.iter(|| simulate(&programs, &cpus, &fabric).unwrap());
+    });
+    g.bench_function("alltoall_1024_ranks", |b| {
+        let fabric = ClusterFabric::single_node(ClusterConfig::uniform(NodeKind::Bx2b, 2));
+        let n = 1024usize;
+        let cpus: Vec<CpuId> = (0..n)
+            .map(|i| CpuId::new((i / 512) as u32, (i % 512) as u32))
+            .collect();
+        let programs: Vec<Vec<Op>> = (0..n)
+            .map(|_| vec![Op::Compute(1e-3), Op::AllToAll { bytes_per_pair: 1024 }])
+            .collect();
+        b.iter(|| simulate(&programs, &cpus, &fabric).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro                 # run everything
+//! repro --exp table2    # one experiment
+//! repro --json          # machine-readable output
+//! repro --list          # experiment ids
+//! ```
+
+use columbia::experiments::{run, Experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--list") {
+        for e in Experiment::ALL {
+            println!("{}", e.name());
+        }
+        return;
+    }
+    let selected: Vec<Experiment> = match args.iter().position(|a| a == "--exp") {
+        Some(i) => {
+            let name = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--exp requires an experiment id (see --list)");
+                std::process::exit(2);
+            });
+            match Experiment::parse(name) {
+                Some(e) => vec![e],
+                None => {
+                    eprintln!("unknown experiment '{name}' (see --list)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => Experiment::ALL.to_vec(),
+    };
+    for exp in selected {
+        let report = run(exp);
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{}", report.to_text());
+        }
+    }
+}

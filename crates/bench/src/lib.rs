@@ -1,0 +1,4 @@
+//! Benchmark harness crate: the `repro` binary regenerates every table
+//! and figure of the paper; the Criterion benches (in `benches/`)
+//! measure the real kernels and the simulator, including the ablation
+//! studies DESIGN.md calls out.

@@ -1,0 +1,595 @@
+//! One runner per paper table and figure.
+//!
+//! Every experiment regenerates the corresponding artifact as a
+//! [`Report`]; `crates/bench`'s `repro` binary prints them, and
+//! EXPERIMENTS.md records the comparison against the paper.
+
+use columbia_hpcc::beff::{self, Pattern};
+use columbia_hpcc::{dgemm, stream};
+use columbia_ins3d::{iteration_seconds, Ins3dConfig};
+use columbia_machine::cluster::{ClusterConfig, InterNodeFabric};
+use columbia_machine::node::{NodeKind, NodeModel};
+use columbia_md::scaling::{weak_scaling_point, TABLE5_CPUS};
+use columbia_npb::{gflops_per_cpu, NpbBenchmark, NpbClass, Paradigm};
+use columbia_npbmz::bench::{run as mz_run, MzBenchmark, MzRunConfig};
+use columbia_npbmz::MzClass;
+use columbia_overflowd::{step_times, OverflowConfig};
+use columbia_runtime::compiler::CompilerVersion;
+use columbia_runtime::pinning::Pinning;
+use columbia_simnet::fabric::MptVersion;
+
+use crate::report::{gbs, gf, secs, Report};
+
+/// Every table and figure of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Experiment {
+    /// Table 1: node characteristics.
+    Table1,
+    /// Fig. 5: in-node b_eff latency/bandwidth on the three node types.
+    Fig5,
+    /// §4.1.1 DGEMM/STREAM numbers.
+    DgemmStream,
+    /// Fig. 6: NPB per-CPU Gflop/s, MPI and OpenMP, three node types.
+    Fig6,
+    /// Table 2: INS3D 36 MLP groups × threads, 3700 vs BX2b.
+    Table2,
+    /// Table 3: OVERFLOW-D comm/exec per step, 3700 vs BX2b.
+    Table3,
+    /// §4.2: CPU-stride study (STREAM and DGEMM, stride 1/2/4).
+    Stride,
+    /// Fig. 7: pinning vs no pinning, SP-MZ class C hybrid.
+    Fig7,
+    /// Fig. 8: four compiler versions on the OpenMP NPBs.
+    Fig8,
+    /// Table 4: INS3D and OVERFLOW-D under compilers 7.1 vs 8.1.
+    Table4,
+    /// Fig. 9: BT-MZ process/thread combinations.
+    Fig9,
+    /// Fig. 10: multinode b_eff, NUMAlink4 vs InfiniBand.
+    Fig10,
+    /// Fig. 11: NPB-MZ class E across nodes and fabrics.
+    Fig11,
+    /// Table 5: MD weak scaling to 2,040 CPUs.
+    Table5,
+    /// Table 6: OVERFLOW-D across nodes, NUMAlink4 vs InfiniBand.
+    Table6,
+}
+
+impl Experiment {
+    /// All experiments in paper order.
+    pub const ALL: [Experiment; 15] = [
+        Experiment::Table1,
+        Experiment::Fig5,
+        Experiment::DgemmStream,
+        Experiment::Fig6,
+        Experiment::Table2,
+        Experiment::Table3,
+        Experiment::Stride,
+        Experiment::Fig7,
+        Experiment::Fig8,
+        Experiment::Table4,
+        Experiment::Fig9,
+        Experiment::Fig10,
+        Experiment::Fig11,
+        Experiment::Table5,
+        Experiment::Table6,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Experiment::Table1 => "table1",
+            Experiment::Fig5 => "fig5",
+            Experiment::DgemmStream => "dgemm-stream",
+            Experiment::Fig6 => "fig6",
+            Experiment::Table2 => "table2",
+            Experiment::Table3 => "table3",
+            Experiment::Stride => "stride",
+            Experiment::Fig7 => "fig7",
+            Experiment::Fig8 => "fig8",
+            Experiment::Table4 => "table4",
+            Experiment::Fig9 => "fig9",
+            Experiment::Fig10 => "fig10",
+            Experiment::Fig11 => "fig11",
+            Experiment::Table5 => "table5",
+            Experiment::Table6 => "table6",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Experiment> {
+        Experiment::ALL.iter().copied().find(|e| e.name() == s)
+    }
+}
+
+/// Run one experiment.
+pub fn run(exp: Experiment) -> Report {
+    match exp {
+        Experiment::Table1 => table1(),
+        Experiment::Fig5 => fig5(),
+        Experiment::DgemmStream => dgemm_stream(),
+        Experiment::Fig6 => fig6(),
+        Experiment::Table2 => table2(),
+        Experiment::Table3 => table3(),
+        Experiment::Stride => stride(),
+        Experiment::Fig7 => fig7(),
+        Experiment::Fig8 => fig8(),
+        Experiment::Table4 => table4(),
+        Experiment::Fig9 => fig9(),
+        Experiment::Fig10 => fig10(),
+        Experiment::Fig11 => fig11(),
+        Experiment::Table5 => table5(),
+        Experiment::Table6 => table6(),
+    }
+}
+
+fn table1() -> Report {
+    let mut r = Report::new(
+        "Table 1",
+        "Characteristics of the two types of Altix nodes used in Columbia",
+        &["Characteristic", "3700", "BX2a", "BX2b"],
+    );
+    let nodes: Vec<_> = NodeKind::ALL.iter().map(|&k| NodeModel::new(k).table1_row()).collect();
+    for i in 0..nodes[0].len() {
+        r.push_row(vec![
+            nodes[0][i].0.to_string(),
+            nodes[0][i].1.clone(),
+            nodes[1][i].1.clone(),
+            nodes[2][i].1.clone(),
+        ]);
+    }
+    let c = ClusterConfig::columbia();
+    r.note(format!(
+        "cluster: {} nodes, {} CPUs total; pure MPI fully usable on up to {} nodes",
+        c.nodes.len(),
+        c.total_cpus(),
+        (2..8).take_while(|&n| c.pure_mpi_fully_usable(n)).last().unwrap_or(1) + 0
+    ));
+    r
+}
+
+fn fig5() -> Report {
+    let mut r = Report::new(
+        "Fig. 5",
+        "b_eff bandwidth and latency on three node types (in-node)",
+        &["pattern", "node", "CPUs", "latency", "bandwidth GB/s"],
+    );
+    let cpus = [4u32, 16, 64, 256, 512];
+    for kind in NodeKind::ALL {
+        let sweep = beff::in_node_sweep(kind, &cpus);
+        for pattern in Pattern::ALL {
+            for &n in &cpus {
+                let p = sweep.get(pattern, n).unwrap();
+                r.push_row(vec![
+                    pattern.name().to_string(),
+                    kind.name().to_string(),
+                    n.to_string(),
+                    secs(p.latency),
+                    gbs(p.bandwidth),
+                ]);
+            }
+        }
+    }
+    r.note("paper: random-ring latency separates the BX2 from the 3700 at high CPU counts");
+    r
+}
+
+fn dgemm_stream() -> Report {
+    let mut r = Report::new(
+        "§4.1.1",
+        "DGEMM and STREAM on the three node types",
+        &["benchmark", "node", "per-CPU result"],
+    );
+    for kind in NodeKind::ALL {
+        let d = dgemm::simulate(kind, 1);
+        r.push_row(vec![
+            "DGEMM".into(),
+            kind.name().into(),
+            format!("{} Gflop/s", gf(d.gflops_per_cpu)),
+        ]);
+    }
+    for kind in NodeKind::ALL {
+        let s = stream::simulate(kind, 512, 1);
+        r.push_row(vec![
+            "STREAM triad (dense)".into(),
+            kind.name().into(),
+            format!("{} GB/s", gbs(s.triad())),
+        ]);
+    }
+    r.note("paper: DGEMM 5.75 Gflop/s on BX2b, +6% over 3700/BX2a; STREAM ~2 GB/s dense, 3700 +1%");
+    r
+}
+
+fn fig6() -> Report {
+    let mut r = Report::new(
+        "Fig. 6",
+        "NPB class B per-CPU Gflop/s on three node types",
+        &["bench", "paradigm", "node", "CPUs", "Gflop/s per CPU"],
+    );
+    let counts = [1u32, 16, 64, 256];
+    for bench in NpbBenchmark::ALL {
+        for paradigm in Paradigm::ALL {
+            for kind in NodeKind::ALL {
+                for &n in &counts {
+                    let g = gflops_per_cpu(bench, NpbClass::B, kind, paradigm, n, CompilerVersion::V7_1);
+                    r.push_row(vec![
+                        bench.name().into(),
+                        paradigm.name().into(),
+                        kind.name().into(),
+                        n.to_string(),
+                        gf(g),
+                    ]);
+                }
+            }
+        }
+    }
+    r.note("paper anchors: FT(MPI) ~2x on BX2 at 256; MG/BT jump ~50% on BX2b at 64; OpenMP gap up to 2x at 128 threads");
+    r
+}
+
+fn table2() -> Report {
+    let mut r = Report::new(
+        "Table 2",
+        "INS3D seconds per physical time step, 36 MLP groups",
+        &["CPUs (groups x threads)", "3700", "BX2b"],
+    );
+    // The 1x1 baseline row, then 36 groups with the paper's thread set.
+    let base3700 = iteration_seconds(&Ins3dConfig {
+        kind: NodeKind::Altix3700,
+        groups: 1,
+        threads: 1,
+        compiler: CompilerVersion::V7_1,
+    });
+    let base_bx2b = iteration_seconds(&Ins3dConfig {
+        kind: NodeKind::Bx2b,
+        groups: 1,
+        threads: 1,
+        compiler: CompilerVersion::V7_1,
+    });
+    r.push_row(vec!["1 (1x1)".into(), secs(base3700), secs(base_bx2b)]);
+    for threads in [1usize, 2, 4, 8, 12, 14] {
+        let t3 = iteration_seconds(&Ins3dConfig::table2(NodeKind::Altix3700, threads));
+        let tb = iteration_seconds(&Ins3dConfig::table2(NodeKind::Bx2b, threads));
+        r.push_row(vec![
+            format!("{} (36x{})", 36 * threads, threads),
+            secs(t3),
+            secs(tb),
+        ]);
+    }
+    r.note("paper: BX2b ~50% faster; scaling good to 8 threads, decaying beyond");
+    r
+}
+
+fn table3() -> Report {
+    let mut r = Report::new(
+        "Table 3",
+        "OVERFLOW-D per-step times, 3700 vs BX2b (NUMAlink4, in-node)",
+        &["CPUs", "3700 comm", "3700 exec", "BX2b comm", "BX2b exec"],
+    );
+    for cpus in [32usize, 64, 128, 256, 508] {
+        let a = step_times(&OverflowConfig::table3(NodeKind::Altix3700, cpus));
+        let b = step_times(&OverflowConfig::table3(NodeKind::Bx2b, cpus));
+        r.push_row(vec![
+            cpus.to_string(),
+            secs(a.comm),
+            secs(a.exec),
+            secs(b.comm),
+            secs(b.exec),
+        ]);
+    }
+    r.note("paper: BX2b ~2x faster on average; 3700 comm/exec climbs from ~0.3 (256) past 0.5 (508)");
+    r
+}
+
+fn stride() -> Report {
+    let mut r = Report::new(
+        "§4.2",
+        "CPU stride study: per-CPU STREAM triad and DGEMM",
+        &["benchmark", "stride", "per-CPU result"],
+    );
+    for s in [1u32, 2, 4] {
+        let st = stream::simulate(NodeKind::Altix3700, 128, s);
+        r.push_row(vec![
+            "STREAM triad".into(),
+            s.to_string(),
+            format!("{} GB/s", gbs(st.triad())),
+        ]);
+    }
+    for s in [1u32, 2, 4] {
+        let d = dgemm::simulate(NodeKind::Altix3700, s);
+        r.push_row(vec![
+            "DGEMM".into(),
+            s.to_string(),
+            format!("{} Gflop/s", gf(d.gflops_per_cpu)),
+        ]);
+    }
+    r.note("paper: triad 1.9x at stride 2 (bus unshared); DGEMM moves <0.5%");
+    r
+}
+
+fn fig7() -> Report {
+    let mut r = Report::new(
+        "Fig. 7",
+        "Pinning vs no pinning, SP-MZ class C on BX2b",
+        &["CPUs", "threads/proc", "pinned s/step", "unpinned s/step"],
+    );
+    for (procs, threads) in [(64usize, 1usize), (32, 2), (16, 8), (8, 16), (4, 32)] {
+        let mut cfg = MzRunConfig::new(MzBenchmark::SpMz, MzClass::C, procs, threads);
+        let tp = mz_run(&cfg).seconds_per_step;
+        cfg.pinning = Pinning::Unpinned;
+        let tu = mz_run(&cfg).seconds_per_step;
+        r.push_row(vec![
+            (procs * threads).to_string(),
+            threads.to_string(),
+            secs(tp),
+            secs(tu),
+        ]);
+    }
+    r.note("paper: pinning matters most for many threads/proc; pure process mode barely affected");
+    r
+}
+
+fn fig8() -> Report {
+    let mut r = Report::new(
+        "Fig. 8",
+        "Compiler versions on the OpenMP NPBs (BX2b, class B)",
+        &["bench", "threads", "7.1", "8.0", "8.1", "9.0b"],
+    );
+    for bench in NpbBenchmark::ALL {
+        for threads in [16u32, 64] {
+            let g: Vec<String> = CompilerVersion::ALL
+                .iter()
+                .map(|&v| gf(gflops_per_cpu(bench, NpbClass::B, NodeKind::Bx2b, Paradigm::OpenMp, threads, v)))
+                .collect();
+            r.push_row(vec![
+                bench.name().into(),
+                threads.to_string(),
+                g[0].clone(),
+                g[1].clone(),
+                g[2].clone(),
+                g[3].clone(),
+            ]);
+        }
+    }
+    r.note("paper: 8.0 worst in most cases; 9.0b best on FT; MG crossover at 32 threads; no overall winner");
+    r
+}
+
+fn table4() -> Report {
+    let mut r = Report::new(
+        "Table 4",
+        "INS3D and OVERFLOW-D under Intel Fortran 7.1 vs 8.1",
+        &["application", "CPUs", "7.1", "8.1"],
+    );
+    for threads in [4usize, 8] {
+        let t71 = iteration_seconds(&Ins3dConfig {
+            compiler: CompilerVersion::V7_1,
+            ..Ins3dConfig::table2(NodeKind::Bx2b, threads)
+        });
+        let t81 = iteration_seconds(&Ins3dConfig {
+            compiler: CompilerVersion::V8_1,
+            ..Ins3dConfig::table2(NodeKind::Bx2b, threads)
+        });
+        r.push_row(vec![
+            "INS3D (s/step)".into(),
+            (36 * threads).to_string(),
+            secs(t71),
+            secs(t81),
+        ]);
+    }
+    for procs in [32usize, 128] {
+        let mk = |compiler| {
+            step_times(&OverflowConfig {
+                compiler,
+                ..OverflowConfig::table3(NodeKind::Altix3700, procs)
+            })
+            .exec
+        };
+        r.push_row(vec![
+            "OVERFLOW-D (s/step)".into(),
+            procs.to_string(),
+            secs(mk(CompilerVersion::V7_1)),
+            secs(mk(CompilerVersion::V8_1)),
+        ]);
+    }
+    r.note("paper: INS3D negligible difference; OVERFLOW-D 7.1 wins 20-40% under 64 CPUs, identical above");
+    r
+}
+
+fn fig9() -> Report {
+    let mut r = Report::new(
+        "Fig. 9",
+        "BT-MZ class C under process/thread combinations (BX2b)",
+        &["procs", "threads", "CPUs", "total Gflop/s"],
+    );
+    for (procs, threads) in [
+        (16usize, 1usize),
+        (64, 1),
+        (256, 1),
+        (16, 4),
+        (64, 4),
+        (16, 16),
+        (16, 2),
+        (16, 8),
+    ] {
+        if procs * threads > 512 {
+            continue;
+        }
+        let out = mz_run(&MzRunConfig::new(MzBenchmark::BtMz, MzClass::C, procs, threads));
+        r.push_row(vec![
+            procs.to_string(),
+            threads.to_string(),
+            (procs * threads).to_string(),
+            gf(out.total_gflops),
+        ]);
+    }
+    r.note("paper: MPI scales almost linearly until load imbalance; OpenMP drops quickly beyond 2 threads");
+    r
+}
+
+fn fig10() -> Report {
+    let mut r = Report::new(
+        "Fig. 10",
+        "Multinode b_eff: NUMAlink4 vs InfiniBand (BX2b nodes)",
+        &["pattern", "fabric", "nodes", "CPUs", "latency", "bandwidth GB/s"],
+    );
+    let counts = [256u32, 1024, 2048];
+    for (nodes, inter) in [
+        (2u32, InterNodeFabric::NumaLink4),
+        (4, InterNodeFabric::NumaLink4),
+        (2, InterNodeFabric::InfiniBand),
+        (4, InterNodeFabric::InfiniBand),
+    ] {
+        let sweep = beff::multi_node_sweep(nodes, inter, MptVersion::Beta, &counts);
+        for pattern in Pattern::ALL {
+            for &n in &counts {
+                let p = sweep.get(pattern, n).unwrap();
+                r.push_row(vec![
+                    pattern.name().into(),
+                    inter.name().into(),
+                    nodes.to_string(),
+                    n.to_string(),
+                    secs(p.latency),
+                    gbs(p.bandwidth),
+                ]);
+            }
+        }
+    }
+    r.note("paper: NL4 clearly better; IB random ring shows severe scalability problems");
+    r
+}
+
+fn fig11() -> Report {
+    let mut r = Report::new(
+        "Fig. 11",
+        "NPB-MZ class E across nodes and fabrics",
+        &["bench", "fabric", "MPT", "procs x threads", "total Gflop/s"],
+    );
+    let combos: [(usize, usize); 3] = [(256, 1), (512, 1), (512, 2)];
+    for bench in [MzBenchmark::BtMz, MzBenchmark::SpMz] {
+        for (inter, mpt) in [
+            (InterNodeFabric::NumaLink4, MptVersion::Beta),
+            (InterNodeFabric::InfiniBand, MptVersion::Released),
+            (InterNodeFabric::InfiniBand, MptVersion::Beta),
+        ] {
+            for &(procs, threads) in &combos {
+                let mut cfg = MzRunConfig::new(bench, MzClass::E, procs, threads);
+                cfg.nodes = ((procs * threads) as u32).div_ceil(512).max(2);
+                cfg.inter = inter;
+                cfg.mpt = mpt;
+                let out = mz_run(&cfg);
+                r.push_row(vec![
+                    bench.name().into(),
+                    inter.name().into(),
+                    if mpt == MptVersion::Beta { "beta" } else { "released" }.into(),
+                    format!("{procs}x{threads}"),
+                    gf(out.total_gflops),
+                ]);
+            }
+        }
+    }
+    r.note("paper: BT-MZ near-linear, IB ~7% worse; SP-MZ 40% slower on IB with released MPT at 256, beta closes the gap");
+    r
+}
+
+fn table5() -> Report {
+    let mut r = Report::new(
+        "Table 5",
+        "MD weak scaling, 64,000 atoms per CPU, 100 steps",
+        &["CPUs", "atoms", "s/step", "comm s/step", "efficiency"],
+    );
+    let base = weak_scaling_point(1);
+    for &cpus in &TABLE5_CPUS {
+        let p = weak_scaling_point(cpus);
+        r.push_row(vec![
+            cpus.to_string(),
+            p.atoms.to_string(),
+            secs(p.seconds_per_step),
+            secs(p.comm_per_step),
+            format!("{:.1}%", 100.0 * p.efficiency_vs(&base)),
+        ]);
+    }
+    r.note("paper: almost perfect scalability to 2040 CPUs; communication insignificant");
+    r
+}
+
+fn table6() -> Report {
+    let mut r = Report::new(
+        "Table 6",
+        "OVERFLOW-D across BX2b nodes: NUMAlink4 vs InfiniBand",
+        &["nodes", "CPUs", "NL4 comm", "NL4 exec", "IB comm", "IB exec"],
+    );
+    for (nodes, procs) in [(2u32, 256usize), (2, 508), (4, 1016)] {
+        if procs > 1679 {
+            continue;
+        }
+        let mk = |inter| {
+            step_times(&OverflowConfig {
+                kind: NodeKind::Bx2b,
+                procs,
+                threads: 1,
+                nodes,
+                inter,
+                compiler: CompilerVersion::V8_1,
+            })
+        };
+        let nl = mk(InterNodeFabric::NumaLink4);
+        let ib = mk(InterNodeFabric::InfiniBand);
+        r.push_row(vec![
+            nodes.to_string(),
+            procs.to_string(),
+            secs(nl.comm),
+            secs(nl.exec),
+            secs(ib.comm),
+            secs(ib.exec),
+        ]);
+    }
+    r.note("paper: NL4 totals ~10% better; reported comm reverses (IB lower)");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for e in Experiment::ALL {
+            assert_eq!(Experiment::parse(e.name()), Some(e));
+        }
+        assert_eq!(Experiment::parse("nope"), None);
+    }
+
+    #[test]
+    fn table1_reproduces_node_table() {
+        let r = run(Experiment::Table1);
+        let text = r.to_text();
+        assert!(text.contains("Itanium2 1.6 GHz/9 MB"));
+        assert!(text.contains("NUMAlink3"));
+        assert!(text.contains("3.07 Tflop/s"));
+    }
+
+    #[test]
+    fn stride_report_shows_the_1_9x_gain() {
+        let r = run(Experiment::Stride);
+        // Row 0 = stride 1, row 1 = stride 2 of STREAM triad.
+        let dense: f64 = r.rows[0][2].split_whitespace().next().unwrap().parse().unwrap();
+        let strided: f64 = r.rows[1][2].split_whitespace().next().unwrap().parse().unwrap();
+        let gain = strided / dense;
+        assert!((gain - 1.9).abs() < 0.1, "gain={gain}");
+    }
+
+    #[test]
+    fn table2_runs_all_thread_counts() {
+        let r = run(Experiment::Table2);
+        assert_eq!(r.rows.len(), 7); // baseline + 6 thread counts
+        assert!(r.rows[6][0].contains("504"));
+    }
+
+    #[test]
+    fn table5_shows_flat_scaling() {
+        let r = run(Experiment::Table5);
+        let eff_last: f64 = r.rows.last().unwrap()[4].trim_end_matches('%').parse().unwrap();
+        assert!(eff_last > 90.0, "eff={eff_last}%");
+    }
+}

@@ -1,0 +1,46 @@
+//! `columbia` — a full reproduction of *An Application-Based
+//! Performance Characterization of the Columbia Supercluster*
+//! (Biswas, Djomehri, Hood, Jin, Kiris, Saini — SC 2005).
+//!
+//! Columbia was NASA's 10,240-processor SGI Altix supercluster. The
+//! paper characterizes it with the HPC Challenge microbenchmarks, a
+//! subset of the NAS Parallel Benchmarks (including the multi-zone
+//! versions), a Lennard-Jones molecular dynamics code, and two
+//! production overset-grid CFD applications (INS3D, OVERFLOW-D). This
+//! workspace rebuilds all of that in Rust: a calibrated machine model
+//! and discrete-event cluster simulator stand in for the hardware we
+//! do not have (see `DESIGN.md` for the substitution table), while
+//! every benchmark algorithm is implemented for real and verified on
+//! the host.
+//!
+//! Quick start:
+//!
+//! ```
+//! use columbia::experiments::{run, Experiment};
+//!
+//! // Regenerate the paper's Table 1 (node characteristics).
+//! let report = run(Experiment::Table1);
+//! assert!(report.to_text().contains("NUMAlink4"));
+//! ```
+//!
+//! The sub-crates are re-exported under their domain names:
+//! [`machine`], [`simnet`], [`runtime`], [`kernels`], [`hpcc`],
+//! [`npb`], [`npbmz`], [`md`], [`overset`], [`ins3d`], [`overflowd`].
+
+pub use columbia_hpcc as hpcc;
+pub use columbia_ins3d as ins3d;
+pub use columbia_kernels as kernels;
+pub use columbia_machine as machine;
+pub use columbia_md as md;
+pub use columbia_npb as npb;
+pub use columbia_npbmz as npbmz;
+pub use columbia_overflowd as overflowd;
+pub use columbia_overset as overset;
+pub use columbia_runtime as runtime;
+pub use columbia_simnet as simnet;
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{run, Experiment};
+pub use report::Report;

@@ -1,0 +1,146 @@
+//! Report tables: the common output format of every experiment.
+
+use serde::Serialize;
+
+/// A rendered experiment result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Which paper artifact this regenerates ("Table 2", "Fig. 5", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (calibration caveats, paper anchor values).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Render as JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.0}")
+    } else if t >= 1.0 {
+        format!("{t:.2}")
+    } else if t >= 1e-3 {
+        format!("{:.2} ms", t * 1e3)
+    } else {
+        format!("{:.2} us", t * 1e6)
+    }
+}
+
+/// Format bytes/s as GB/s.
+pub fn gbs(b: f64) -> String {
+    format!("{:.2}", b / 1e9)
+}
+
+/// Format a Gflop/s value.
+pub fn gf(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text() {
+        let mut r = Report::new("Table X", "demo", &["a", "long-header"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.note("hello");
+        let t = r.to_text();
+        assert!(t.contains("Table X"));
+        assert!(t.contains("long-header"));
+        assert!(t.contains("note: hello"));
+    }
+
+    #[test]
+    fn json_round_trips_fields() {
+        let mut r = Report::new("Fig. 9", "demo", &["x"]);
+        r.push_row(vec!["42".into()]);
+        let j = r.to_json();
+        assert!(j.contains("\"Fig. 9\""));
+        assert!(j.contains("42"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut r = Report::new("T", "t", &["a", "b"]);
+        r.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1234.5), "1234");
+        assert_eq!(secs(0.5), "500.00 ms");
+        assert_eq!(secs(2e-6), "2.00 us");
+        assert_eq!(gbs(3.2e9), "3.20");
+        assert_eq!(gf(0.5), "0.500");
+    }
+}

@@ -1,0 +1,227 @@
+//! The b_eff latency/bandwidth sweeps (Fig. 5 in-node, Fig. 10
+//! multinode).
+//!
+//! For each CPU count the benchmark reports, this module places the
+//! processes (dense within nodes, block across nodes), builds the
+//! appropriate fabric, and evaluates the three patterns from
+//! `columbia_simnet::patterns`.
+
+use columbia_machine::cluster::{ClusterConfig, CpuId, InterNodeFabric, NodeId};
+use columbia_machine::node::NodeKind;
+use columbia_simnet::fabric::{ClusterFabric, MptVersion};
+use columbia_simnet::patterns::{natural_ring, ping_pong, random_ring, PatternResult};
+
+/// The three b_eff patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Average ping-pong over pairs.
+    PingPong,
+    /// Natural (rank-order) ring, worst-case latency.
+    NaturalRing,
+    /// Random-permutation ring, geometric mean over trials.
+    RandomRing,
+}
+
+impl Pattern {
+    /// All patterns in the order the figures plot them.
+    pub const ALL: [Pattern; 3] = [Pattern::PingPong, Pattern::NaturalRing, Pattern::RandomRing];
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::PingPong => "Average Ping-Pong",
+            Pattern::NaturalRing => "Natural Ring",
+            Pattern::RandomRing => "Random Ring",
+        }
+    }
+}
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeffPoint {
+    /// Pattern measured.
+    pub pattern: Pattern,
+    /// Total CPUs participating.
+    pub cpus: u32,
+    /// Latency in seconds.
+    pub latency: f64,
+    /// Per-process bandwidth in bytes/s.
+    pub bandwidth: f64,
+}
+
+/// A sweep over CPU counts for one machine configuration.
+#[derive(Debug, Clone)]
+pub struct BeffSweep {
+    /// Human-readable configuration label ("BX2b", "NUMAlink4 2 nodes",
+    /// "InfiniBand 4 nodes", …).
+    pub label: String,
+    /// Points, ordered by (pattern, cpus).
+    pub points: Vec<BeffPoint>,
+}
+
+fn dense_cpus(nodes: u32, total: u32) -> Vec<CpuId> {
+    let per_node = total.div_ceil(nodes);
+    let mut v = Vec::with_capacity(total as usize);
+    'outer: for nd in 0..nodes {
+        for c in 0..per_node {
+            if v.len() as u32 == total {
+                break 'outer;
+            }
+            v.push(CpuId::new(nd, c));
+        }
+    }
+    v
+}
+
+fn eval(fabric: &ClusterFabric, cpus: &[CpuId], pattern: Pattern) -> PatternResult {
+    match pattern {
+        Pattern::PingPong => ping_pong(fabric, cpus),
+        Pattern::NaturalRing => natural_ring(fabric, cpus),
+        Pattern::RandomRing => random_ring(fabric, cpus, 8, 0x5EED),
+    }
+}
+
+/// In-node sweep for Fig. 5: one node of `kind`, CPU counts 4..512.
+pub fn in_node_sweep(kind: NodeKind, cpu_counts: &[u32]) -> BeffSweep {
+    let fabric = ClusterFabric::single_node(ClusterConfig::uniform(kind, 1));
+    let mut points = Vec::new();
+    for pattern in Pattern::ALL {
+        for &n in cpu_counts {
+            let cpus = dense_cpus(1, n);
+            let r = eval(&fabric, &cpus, pattern);
+            points.push(BeffPoint {
+                pattern,
+                cpus: n,
+                latency: r.latency,
+                bandwidth: r.bandwidth_per_proc,
+            });
+        }
+    }
+    BeffSweep {
+        label: kind.name().to_string(),
+        points,
+    }
+}
+
+/// Multinode sweep for Fig. 10: `nodes` BX2b boxes over `inter`.
+pub fn multi_node_sweep(
+    nodes: u32,
+    inter: InterNodeFabric,
+    mpt: MptVersion,
+    cpu_counts: &[u32],
+) -> BeffSweep {
+    assert!(nodes >= 1);
+    let cfg = ClusterConfig::uniform(NodeKind::Bx2b, nodes);
+    let mut points = Vec::new();
+    for pattern in Pattern::ALL {
+        for &n in cpu_counts {
+            let fabric = ClusterFabric::new(cfg.clone(), inter, mpt, n);
+            let cpus = dense_cpus(nodes, n);
+            let r = eval(&fabric, &cpus, pattern);
+            points.push(BeffPoint {
+                pattern,
+                cpus: n,
+                latency: r.latency,
+                bandwidth: r.bandwidth_per_proc,
+            });
+        }
+    }
+    BeffSweep {
+        label: format!("{} {} node(s)", inter.name(), nodes),
+        points,
+    }
+}
+
+impl BeffSweep {
+    /// Look up a point.
+    pub fn get(&self, pattern: Pattern, cpus: u32) -> Option<&BeffPoint> {
+        self.points
+            .iter()
+            .find(|p| p.pattern == pattern && p.cpus == cpus)
+    }
+}
+
+/// The CPU counts Fig. 5 plots.
+pub const FIG5_CPUS: [u32; 8] = [4, 8, 16, 32, 64, 128, 256, 512];
+
+/// The CPU counts Fig. 10 plots.
+pub const FIG10_CPUS: [u32; 6] = [64, 128, 256, 512, 1024, 2048];
+
+/// Reserved node id for future heterogeneity (the sweeps always start
+/// at node 0 today).
+pub const FIRST_NODE: NodeId = NodeId(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_sweep_has_all_points() {
+        let s = in_node_sweep(NodeKind::Bx2b, &FIG5_CPUS);
+        assert_eq!(s.points.len(), 3 * FIG5_CPUS.len());
+        assert!(s.get(Pattern::RandomRing, 512).is_some());
+        assert!(s.get(Pattern::RandomRing, 3).is_none());
+    }
+
+    #[test]
+    fn ping_pong_latency_consistent_across_node_types_at_small_counts() {
+        // Fig. 5: "For Ping-Pong and Natural Ring, the latencies are
+        // remarkably consistent between 3700 and both models of BX2."
+        let a = in_node_sweep(NodeKind::Altix3700, &[8]);
+        let b = in_node_sweep(NodeKind::Bx2b, &[8]);
+        let la = a.get(Pattern::PingPong, 8).unwrap().latency;
+        let lb = b.get(Pattern::PingPong, 8).unwrap().latency;
+        assert!((la - lb).abs() / la < 0.25, "la={la:e} lb={lb:e}");
+    }
+
+    #[test]
+    fn random_ring_separates_at_high_counts() {
+        // Fig. 5: at large CPU counts the BX2 interconnect pulls ahead.
+        let a = in_node_sweep(NodeKind::Altix3700, &[512]);
+        let b = in_node_sweep(NodeKind::Bx2b, &[512]);
+        let la = a.get(Pattern::RandomRing, 512).unwrap().latency;
+        let lb = b.get(Pattern::RandomRing, 512).unwrap().latency;
+        assert!(lb < la, "BX2 should win at 512: {lb:e} vs {la:e}");
+    }
+
+    #[test]
+    fn fig10_infiniband_latency_penalty_grows_with_nodes() {
+        let two = multi_node_sweep(2, InterNodeFabric::InfiniBand, MptVersion::Beta, &[256]);
+        let four = multi_node_sweep(4, InterNodeFabric::InfiniBand, MptVersion::Beta, &[256]);
+        let l2 = two.get(Pattern::PingPong, 256).unwrap().latency;
+        let l4 = four.get(Pattern::PingPong, 256).unwrap().latency;
+        assert!(l4 > l2, "four-node IB ping-pong must be worse: {l4:e} vs {l2:e}");
+    }
+
+    #[test]
+    fn fig10_numalink_beats_infiniband() {
+        let nl = multi_node_sweep(4, InterNodeFabric::NumaLink4, MptVersion::Beta, &[1024]);
+        let ib = multi_node_sweep(4, InterNodeFabric::InfiniBand, MptVersion::Beta, &[1024]);
+        for pattern in Pattern::ALL {
+            let pn = nl.get(pattern, 1024).unwrap();
+            let pi = ib.get(pattern, 1024).unwrap();
+            assert!(pn.latency < pi.latency, "{pattern:?} latency");
+            assert!(pn.bandwidth > pi.bandwidth, "{pattern:?} bandwidth");
+        }
+    }
+
+    #[test]
+    fn natural_ring_two_and_four_node_ib_bandwidth_similar() {
+        // §4.6.1: "For Natural Ring, the two- and four-node tests
+        // yielded similar results."
+        let two = multi_node_sweep(2, InterNodeFabric::InfiniBand, MptVersion::Beta, &[512]);
+        let four = multi_node_sweep(4, InterNodeFabric::InfiniBand, MptVersion::Beta, &[512]);
+        let b2 = two.get(Pattern::NaturalRing, 512).unwrap().bandwidth;
+        let b4 = four.get(Pattern::NaturalRing, 512).unwrap().bandwidth;
+        assert!((b2 / b4 - 1.0).abs() < 0.35, "b2={b2:e} b4={b4:e}");
+    }
+
+    #[test]
+    fn released_mpt_hurts_ib_random_ring() {
+        let beta = multi_node_sweep(4, InterNodeFabric::InfiniBand, MptVersion::Beta, &[256]);
+        let rel = multi_node_sweep(4, InterNodeFabric::InfiniBand, MptVersion::Released, &[256]);
+        let bb = beta.get(Pattern::RandomRing, 256).unwrap().bandwidth;
+        let br = rel.get(Pattern::RandomRing, 256).unwrap().bandwidth;
+        assert!(br < bb);
+    }
+}

@@ -1,0 +1,27 @@
+//! The HPC Challenge subset the paper runs (§3.1, §4.1.1, §4.2, §4.6.1).
+//!
+//! Three components:
+//!
+//! * [`dgemm`] — optimum floating-point rate via a level-3 BLAS-style
+//!   matrix multiply sized to 75% of the memory of the CPUs under test;
+//! * [`stream`] — sustained memory bandwidth for copy/scale/add/triad,
+//!   also 75%-of-memory sized, including the §4.2 CPU-stride study;
+//! * [`beff`] — the effective-bandwidth (b_eff) latency/bandwidth tests
+//!   in the ping-pong, natural-ring, and random-ring patterns, both
+//!   in-node (Fig. 5) and across two/four nodes over NUMAlink4 or
+//!   InfiniBand (Fig. 10).
+//!
+//! Each component has a *simulated* mode (the machine model at Columbia
+//! scale, regenerating the paper's figures) and, where meaningful, a
+//! *real* mode that exercises the actual kernels on the host.
+
+pub mod beff;
+pub mod dgemm;
+pub mod stream;
+
+pub use beff::{BeffPoint, BeffSweep};
+pub use dgemm::DgemmResult;
+pub use stream::StreamResult;
+
+/// Fraction of available memory the HPCC rules size operands to.
+pub const MEMORY_FRACTION: f64 = 0.75;

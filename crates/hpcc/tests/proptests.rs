@@ -1,0 +1,71 @@
+//! Property-based tests over the HPCC models.
+
+use columbia_hpcc::beff::{in_node_sweep, multi_node_sweep, Pattern};
+use columbia_hpcc::{dgemm, stream};
+use columbia_machine::cluster::InterNodeFabric;
+use columbia_machine::node::NodeKind;
+use columbia_simnet::fabric::MptVersion;
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = NodeKind> {
+    prop::sample::select(vec![NodeKind::Altix3700, NodeKind::Bx2a, NodeKind::Bx2b])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stream_never_exceeds_single_cpu_rate(
+        kind in any_kind(),
+        cpus in 1u32..512,
+        stride in 1u32..4,
+    ) {
+        prop_assume!(cpus * stride <= 512);
+        let r = stream::simulate(kind, cpus, stride);
+        let solo = stream::simulate(kind, 1, 1);
+        prop_assert!(r.triad() <= solo.triad() * 1.0001);
+        prop_assert!(r.triad() > 0.0);
+        // Aggregate grows linearly with CPUs.
+        prop_assert!((r.aggregate_triad() - r.triad() * cpus as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn dgemm_bounded_by_peak(kind in any_kind(), stride in 1u32..5) {
+        let d = dgemm::simulate(kind, stride);
+        let peak = columbia_machine::node::NodeModel::new(kind)
+            .processor
+            .peak_gflops();
+        prop_assert!(d.gflops_per_cpu < peak);
+        prop_assert!(d.gflops_per_cpu > 0.8 * peak, "BLAS should be near peak");
+    }
+
+    #[test]
+    fn beff_latencies_positive_and_bandwidths_bounded(
+        kind in any_kind(),
+        cpus in prop::sample::select(vec![4u32, 8, 32, 128, 512]),
+    ) {
+        let sweep = in_node_sweep(kind, &[cpus]);
+        for pattern in Pattern::ALL {
+            let p = sweep.get(pattern, cpus).unwrap();
+            prop_assert!(p.latency > 0.0);
+            prop_assert!(p.bandwidth > 0.0);
+            // No pattern can beat the raw NUMAlink4 link.
+            prop_assert!(p.bandwidth < 6.4e9);
+        }
+    }
+
+    #[test]
+    fn multinode_ib_never_beats_numalink(
+        nodes in prop::sample::select(vec![2u32, 4]),
+        cpus in prop::sample::select(vec![128u32, 512, 1024]),
+    ) {
+        let nl = multi_node_sweep(nodes, InterNodeFabric::NumaLink4, MptVersion::Beta, &[cpus]);
+        let ib = multi_node_sweep(nodes, InterNodeFabric::InfiniBand, MptVersion::Beta, &[cpus]);
+        for pattern in Pattern::ALL {
+            let pn = nl.get(pattern, cpus).unwrap();
+            let pi = ib.get(pattern, cpus).unwrap();
+            prop_assert!(pi.latency >= pn.latency, "{pattern:?}");
+            prop_assert!(pi.bandwidth <= pn.bandwidth * 1.0001, "{pattern:?}");
+        }
+    }
+}

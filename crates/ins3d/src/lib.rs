@@ -1,0 +1,22 @@
+//! INS3D: incompressible Navier-Stokes turbopump simulations (§3.4,
+//! §4.1.3, Table 2, Table 4).
+//!
+//! INS3D solves the incompressible equations with Kwak's artificial
+//! compressibility: a pressure time-derivative is added to the
+//! continuity equation, and each physical time step iterates in
+//! pseudo-time until the velocity divergence falls below tolerance
+//! (typically 10–30 sub-iterations). The matrix equation is relaxed by
+//! a non-factored Gauss-Seidel line scheme, and the code parallelizes
+//! with NASA's MLP: forked groups + shared-memory arenas + OpenMP.
+//!
+//! * [`solver`] — a real miniature artificial-compressibility solver
+//!   (divergence-driven pseudo-time loop over line relaxations);
+//! * [`perf`] — the Table 2 runner: 66-million-point turbopump system,
+//!   36 MLP groups × 1–14 OpenMP threads, 3700 vs BX2b, and the
+//!   Table 4 compiler comparison.
+
+pub mod perf;
+pub mod solver;
+
+pub use perf::{iteration_seconds, Ins3dConfig};
+pub use solver::AcSolver;

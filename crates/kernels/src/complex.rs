@@ -1,0 +1,150 @@
+//! Minimal double-precision complex arithmetic for the FFT kernel.
+//!
+//! Only the operations the radix-2 butterfly needs; no external crate.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Construct from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^(iθ)`.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude (cheaper than [`Complex::abs`]).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex::new(1.5, -2.0);
+        let b = Complex::new(-0.5, 3.0);
+        assert_eq!(a + b, Complex::new(1.0, 1.0));
+        assert_eq!(a - b, Complex::new(2.0, -5.0));
+        // (1.5 - 2i)(-0.5 + 3i) = -0.75 + 4.5i + i + 6 = 5.25 + 5.5i
+        let p = a * b;
+        assert!((p.re - 5.25).abs() < 1e-12);
+        assert!((p.im - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_on_unit_circle() {
+        for k in 0..8 {
+            let z = Complex::cis(k as f64 * std::f64::consts::FRAC_PI_4);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+        let i = Complex::cis(std::f64::consts::FRAC_PI_2);
+        assert!(i.re.abs() < 1e-12 && (i.im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+        assert!((z.norm_sqr() - 25.0).abs() < 1e-12);
+        let zz = z * z.conj();
+        assert!((zz.re - 25.0).abs() < 1e-12 && zz.im.abs() < 1e-12);
+    }
+}

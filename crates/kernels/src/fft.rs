@@ -1,0 +1,260 @@
+//! Iterative radix-2 complex FFT and a pencil-decomposed 3-D transform.
+//!
+//! This is the computational core of NPB FT: a 3-D FFT applied
+//! repeatedly to an evolving complex field. The 1-D kernel is a
+//! standard bit-reversal + butterfly Cooley-Tukey; the 3-D transform
+//! sweeps pencils along each axis, which is exactly the structure whose
+//! transpose steps become the benchmark's all-to-all when distributed.
+
+use crate::complex::Complex;
+
+/// In-place forward FFT. `data.len()` must be a power of two.
+pub fn fft(data: &mut [Complex]) {
+    transform(data, -1.0);
+}
+
+/// In-place inverse FFT (including the 1/N normalization).
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, 1.0);
+    let scale = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+fn transform(data: &mut [Complex], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for off in 0..len / 2 {
+                let u = data[start + off];
+                let v = data[start + off + len / 2] * w;
+                data[start + off] = u + v;
+                data[start + off + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Dense 3-D complex field, row-major with `k` fastest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field3 {
+    /// Dimensions.
+    pub dims: (usize, usize, usize),
+    /// Flat storage.
+    pub data: Vec<Complex>,
+}
+
+impl Field3 {
+    /// Zero field.
+    pub fn zeros(ni: usize, nj: usize, nk: usize) -> Self {
+        Field3 {
+            dims: (ni, nj, nk),
+            data: vec![Complex::ZERO; ni * nj * nk],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.dims.1 + j) * self.dims.2 + k
+    }
+
+    /// Read a point.
+    pub fn get(&self, i: usize, j: usize, k: usize) -> Complex {
+        self.data[self.idx(i, j, k)]
+    }
+
+    /// Write a point.
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: Complex) {
+        let idx = self.idx(i, j, k);
+        self.data[idx] = v;
+    }
+}
+
+/// Forward 3-D FFT by pencils (k-axis, then j, then i).
+pub fn fft3(field: &mut Field3) {
+    transform3(field, false);
+}
+
+/// Inverse 3-D FFT.
+pub fn ifft3(field: &mut Field3) {
+    transform3(field, true);
+}
+
+fn transform3(field: &mut Field3, inverse: bool) {
+    let (ni, nj, nk) = field.dims;
+    let run = |pencil: &mut [Complex]| {
+        if inverse {
+            ifft(pencil);
+        } else {
+            fft(pencil);
+        }
+    };
+    // k-pencils are contiguous.
+    for i in 0..ni {
+        for j in 0..nj {
+            let base = (i * nj + j) * nk;
+            run(&mut field.data[base..base + nk]);
+        }
+    }
+    // j-pencils.
+    let mut buf = vec![Complex::ZERO; nj];
+    for i in 0..ni {
+        for k in 0..nk {
+            for j in 0..nj {
+                buf[j] = field.get(i, j, k);
+            }
+            run(&mut buf);
+            for j in 0..nj {
+                field.set(i, j, k, buf[j]);
+            }
+        }
+    }
+    // i-pencils.
+    let mut buf = vec![Complex::ZERO; ni];
+    for j in 0..nj {
+        for k in 0..nk {
+            for i in 0..ni {
+                buf[i] = field.get(i, j, k);
+            }
+            run(&mut buf);
+            for i in 0..ni {
+                field.set(i, j, k, buf[i]);
+            }
+        }
+    }
+}
+
+/// Flop count of one complex FFT of length `n` (the standard
+/// `5 n log2 n` accounting NPB uses).
+pub fn fft_flops(n: usize) -> f64 {
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut d = vec![Complex::ZERO; 8];
+        d[0] = Complex::ONE;
+        fft(&mut d);
+        for v in &d {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let n = 16;
+        let mut d = vec![Complex::ONE; n];
+        fft(&mut d);
+        assert!((d[0].re - n as f64).abs() < 1e-10);
+        for v in &d[1..] {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let n = 64;
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut d = orig.clone();
+        fft(&mut d);
+        ifft(&mut d);
+        for (a, b) in d.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 32;
+        let sig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), 0.2 * i as f64))
+            .collect();
+        let e_time: f64 = sig.iter().map(|z| z.norm_sqr()).sum();
+        let mut d = sig;
+        fft(&mut d);
+        let e_freq: f64 = d.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() / e_time < 1e-12);
+    }
+
+    #[test]
+    fn pure_tone_lands_in_one_bin() {
+        let n = 64;
+        let freq = 5;
+        let mut d: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * freq as f64 * i as f64 / n as f64))
+            .collect();
+        fft(&mut d);
+        assert!((d[freq].abs() - n as f64).abs() < 1e-9);
+        for (i, v) in d.iter().enumerate() {
+            if i != freq {
+                assert!(v.abs() < 1e-9, "leakage at bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft3_roundtrip() {
+        let (ni, nj, nk) = (4, 8, 16);
+        let mut f = Field3::zeros(ni, nj, nk);
+        for i in 0..ni {
+            for j in 0..nj {
+                for k in 0..nk {
+                    f.set(i, j, k, Complex::new((i + 2 * j) as f64, k as f64 * 0.5));
+                }
+            }
+        }
+        let orig = f.clone();
+        fft3(&mut f);
+        ifft3(&mut f);
+        for (a, b) in f.data.iter().zip(&orig.data) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft3_of_constant_concentrates_dc() {
+        let mut f = Field3::zeros(4, 4, 4);
+        for v in f.data.iter_mut() {
+            *v = Complex::ONE;
+        }
+        fft3(&mut f);
+        assert!((f.get(0, 0, 0).re - 64.0).abs() < 1e-9);
+        let off_dc: f64 = f.data[1..].iter().map(|z| z.abs()).sum();
+        assert!(off_dc < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut d = vec![Complex::ZERO; 12];
+        fft(&mut d);
+    }
+}

@@ -1,0 +1,140 @@
+//! Dense 3-D arrays for the stencil kernels.
+//!
+//! Row-major (`k` fastest) storage with checked constructors and
+//! unchecked-speed indexing via a flat accessor; the multigrid, LU-SGS,
+//! and line-relaxation kernels all operate on these.
+
+/// A dense `ni × nj × nk` array of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3 {
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    data: Vec<f64>,
+}
+
+impl Grid3 {
+    /// Zero-filled grid.
+    pub fn zeros(ni: usize, nj: usize, nk: usize) -> Self {
+        assert!(ni > 0 && nj > 0 && nk > 0, "grid dims must be positive");
+        Grid3 {
+            ni,
+            nj,
+            nk,
+            data: vec![0.0; ni * nj * nk],
+        }
+    }
+
+    /// Grid filled by `f(i, j, k)`.
+    pub fn from_fn(ni: usize, nj: usize, nk: usize, mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
+        let mut g = Grid3::zeros(ni, nj, nk);
+        for i in 0..ni {
+            for j in 0..nj {
+                for k in 0..nk {
+                    let idx = g.idx(i, j, k);
+                    g.data[idx] = f(i, j, k);
+                }
+            }
+        }
+        g
+    }
+
+    /// Dimensions `(ni, nj, nk)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.ni, self.nj, self.nk)
+    }
+
+    /// Total number of points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the grid is empty (never true: dims are positive).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat index of `(i, j, k)`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.ni && j < self.nj && k < self.nk);
+        (i * self.nj + j) * self.nk + k
+    }
+
+    /// Read one point.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.idx(i, j, k)]
+    }
+
+    /// Write one point.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        let idx = self.idx(i, j, k);
+        self.data[idx] = v;
+    }
+
+    /// Immutable flat view.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat view.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// L2 norm over all points, normalized by point count — the
+    /// residual norm the NPB-style verifications use.
+    pub fn norm_l2(&self) -> f64 {
+        (self.data.iter().map(|v| v * v).sum::<f64>() / self.data.len() as f64).sqrt()
+    }
+
+    /// Maximum absolute value.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut g = Grid3::zeros(3, 4, 5);
+        g.set(2, 3, 4, 7.5);
+        assert_eq!(g.get(2, 3, 4), 7.5);
+        assert_eq!(g.get(0, 0, 0), 0.0);
+        assert_eq!(g.len(), 60);
+        assert_eq!(g.dims(), (3, 4, 5));
+    }
+
+    #[test]
+    fn k_is_fastest_axis() {
+        let g = Grid3::zeros(2, 2, 8);
+        assert_eq!(g.idx(0, 0, 1) - g.idx(0, 0, 0), 1);
+        assert_eq!(g.idx(0, 1, 0) - g.idx(0, 0, 0), 8);
+        assert_eq!(g.idx(1, 0, 0) - g.idx(0, 0, 0), 16);
+    }
+
+    #[test]
+    fn from_fn_fills_all_points() {
+        let g = Grid3::from_fn(2, 3, 4, |i, j, k| (i * 100 + j * 10 + k) as f64);
+        assert_eq!(g.get(1, 2, 3), 123.0);
+        assert_eq!(g.get(0, 1, 0), 10.0);
+    }
+
+    #[test]
+    fn norms() {
+        let g = Grid3::from_fn(1, 1, 4, |_, _, k| if k == 2 { -3.0 } else { 0.0 });
+        assert!((g.norm_inf() - 3.0).abs() < 1e-15);
+        assert!((g.norm_l2() - (9.0f64 / 4.0).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        Grid3::zeros(0, 1, 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Multigrid V-cycle for the 3-D Poisson equation (the NPB MG core).
+//!
+//! Periodic `n³` grids (power-of-two edge), a 7-point Laplacian,
+//! damped-Jacobi smoothing, full-weighting restriction, and trilinear
+//! prolongation. MG is the benchmark the paper uses to exercise "long-
+//! and short-distance communication": on a distributed grid every
+//! level's smoother exchanges halos, with coarse levels reaching far
+//! neighbours.
+
+use crate::grid::Grid3;
+
+/// Apply the periodic 7-point Laplacian `(Au)_x = 6u_x - Σ neighbours`
+/// scaled by `1/h²` with `h = 1/n`.
+pub fn apply_laplacian(u: &Grid3) -> Grid3 {
+    let (ni, nj, nk) = u.dims();
+    let h2inv = (ni * ni) as f64; // h = 1/ni on the unit cube
+    Grid3::from_fn(ni, nj, nk, |i, j, k| {
+        let ip = (i + 1) % ni;
+        let im = (i + ni - 1) % ni;
+        let jp = (j + 1) % nj;
+        let jm = (j + nj - 1) % nj;
+        let kp = (k + 1) % nk;
+        let km = (k + nk - 1) % nk;
+        h2inv
+            * (6.0 * u.get(i, j, k)
+                - u.get(ip, j, k)
+                - u.get(im, j, k)
+                - u.get(i, jp, k)
+                - u.get(i, jm, k)
+                - u.get(i, j, kp)
+                - u.get(i, j, km))
+    })
+}
+
+/// Residual `r = v − Au`.
+pub fn residual(v: &Grid3, u: &Grid3) -> Grid3 {
+    let au = apply_laplacian(u);
+    let (ni, nj, nk) = v.dims();
+    Grid3::from_fn(ni, nj, nk, |i, j, k| v.get(i, j, k) - au.get(i, j, k))
+}
+
+/// One damped-Jacobi sweep: `u ← u + ω D⁻¹ (v − Au)` with `ω = 2/3`.
+pub fn smooth(u: &mut Grid3, v: &Grid3) {
+    let (ni, _, _) = u.dims();
+    let h2inv = (ni * ni) as f64;
+    let diag = 6.0 * h2inv;
+    let omega = 2.0 / 3.0;
+    let r = residual(v, u);
+    for (uv, rv) in u.as_mut_slice().iter_mut().zip(r.as_slice()) {
+        *uv += omega * rv / diag;
+    }
+}
+
+/// Full-weighting restriction to the half-resolution grid.
+pub fn restrict(fine: &Grid3) -> Grid3 {
+    let (ni, nj, nk) = fine.dims();
+    assert!(ni % 2 == 0 && nj % 2 == 0 && nk % 2 == 0, "grid must halve evenly");
+    let (ci, cj, ck) = (ni / 2, nj / 2, nk / 2);
+    Grid3::from_fn(ci, cj, ck, |i, j, k| {
+        // 27-point full weighting centred on the even fine point.
+        let mut sum = 0.0;
+        for (di, wi) in [(ni - 1, 0.5), (0, 1.0), (1, 0.5)] {
+            for (dj, wj) in [(nj - 1, 0.5), (0, 1.0), (1, 0.5)] {
+                for (dk, wk) in [(nk - 1, 0.5), (0, 1.0), (1, 0.5)] {
+                    let fi = (2 * i + di) % ni;
+                    let fj = (2 * j + dj) % nj;
+                    let fk = (2 * k + dk) % nk;
+                    sum += wi * wj * wk * fine.get(fi, fj, fk);
+                }
+            }
+        }
+        sum / 8.0
+    })
+}
+
+/// Trilinear prolongation from the half-resolution grid, added into
+/// `fine`.
+pub fn prolongate_add(fine: &mut Grid3, coarse: &Grid3) {
+    let (ni, nj, nk) = fine.dims();
+    let (ci, cj, ck) = coarse.dims();
+    assert_eq!((ci * 2, cj * 2, ck * 2), (ni, nj, nk), "coarse must be half of fine");
+    for i in 0..ni {
+        for j in 0..nj {
+            for k in 0..nk {
+                // Interpolation weights: even index = on a coarse
+                // point, odd = midway between two.
+                let (i0, wi) = (i / 2, if i % 2 == 0 { 1.0 } else { 0.5 });
+                let (j0, wj) = (j / 2, if j % 2 == 0 { 1.0 } else { 0.5 });
+                let (k0, wk) = (k / 2, if k % 2 == 0 { 1.0 } else { 0.5 });
+                let mut val = 0.0;
+                for (ii, wwi) in [(i0, wi), ((i0 + 1) % ci, 1.0 - wi)] {
+                    for (jj, wwj) in [(j0, wj), ((j0 + 1) % cj, 1.0 - wj)] {
+                        for (kk, wwk) in [(k0, wk), ((k0 + 1) % ck, 1.0 - wk)] {
+                            if wwi > 0.0 && wwj > 0.0 && wwk > 0.0 {
+                                val += wwi * wwj * wwk * coarse.get(ii, jj, kk);
+                            }
+                        }
+                    }
+                }
+                let cur = fine.get(i, j, k);
+                fine.set(i, j, k, cur + val);
+            }
+        }
+    }
+}
+
+/// One V-cycle on `u` for right-hand side `v`, with `pre`/`post`
+/// smoothing sweeps, recursing until an edge of 2.
+pub fn v_cycle(u: &mut Grid3, v: &Grid3, pre: u32, post: u32) {
+    let (ni, _, _) = u.dims();
+    for _ in 0..pre {
+        smooth(u, v);
+    }
+    if ni > 2 {
+        let r = residual(v, u);
+        let rc = restrict(&r);
+        let (ci, cj, ck) = rc.dims();
+        let mut ec = Grid3::zeros(ci, cj, ck);
+        v_cycle(&mut ec, &rc, pre, post);
+        prolongate_add(u, &ec);
+    }
+    for _ in 0..post {
+        smooth(u, v);
+    }
+}
+
+/// Project out the mean of `g` (the periodic Poisson problem is only
+/// solvable for zero-mean right-hand sides, up to a constant).
+pub fn remove_mean(g: &mut Grid3) {
+    let mean = g.as_slice().iter().sum::<f64>() / g.len() as f64;
+    for v in g.as_mut_slice() {
+        *v -= mean;
+    }
+}
+
+/// Flops of one V-cycle on an `n³` grid (NPB-style accounting: ~58
+/// flops per fine-grid point per cycle summed over levels ≈ ×8/7).
+pub fn vcycle_flops(n: usize) -> f64 {
+    58.0 * (n * n * n) as f64 * 8.0 / 7.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rhs(n: usize, seed: u64) -> Grid3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Grid3::from_fn(n, n, n, |_, _, _| rng.gen_range(-1.0..1.0));
+        remove_mean(&mut g);
+        g
+    }
+
+    #[test]
+    fn laplacian_of_constant_is_zero() {
+        let u = Grid3::from_fn(8, 8, 8, |_, _, _| 3.7);
+        let au = apply_laplacian(&u);
+        assert!(au.norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn laplacian_of_cosine_is_eigenfunction() {
+        // u = cos(2πx) is an eigenfunction of the periodic Laplacian.
+        let n = 32;
+        let u = Grid3::from_fn(n, n, n, |i, _, _| {
+            (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos()
+        });
+        let au = apply_laplacian(&u);
+        // Discrete eigenvalue: (2 - 2cos(2π/n)) · n².
+        let lam = (2.0 - 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos()) * (n * n) as f64;
+        for i in 0..n {
+            let expect = lam * u.get(i, 3, 5);
+            assert!((au.get(i, 3, 5) - expect).abs() < 1e-6 * lam.max(1.0));
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_residual() {
+        let n = 16;
+        let v = random_rhs(n, 3);
+        let mut u = Grid3::zeros(n, n, n);
+        let r0 = residual(&v, &u).norm_l2();
+        for _ in 0..10 {
+            smooth(&mut u, &v);
+        }
+        let r1 = residual(&v, &u).norm_l2();
+        assert!(r1 < r0, "r0={r0} r1={r1}");
+    }
+
+    #[test]
+    fn restriction_preserves_constants() {
+        let fine = Grid3::from_fn(8, 8, 8, |_, _, _| 2.5);
+        let coarse = restrict(&fine);
+        assert_eq!(coarse.dims(), (4, 4, 4));
+        for v in coarse.as_slice() {
+            assert!((v - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prolongation_preserves_constants() {
+        let coarse = Grid3::from_fn(4, 4, 4, |_, _, _| 1.5);
+        let mut fine = Grid3::zeros(8, 8, 8);
+        prolongate_add(&mut fine, &coarse);
+        for v in fine.as_slice() {
+            assert!((v - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn v_cycles_converge_much_faster_than_jacobi() {
+        let n = 32;
+        let v = random_rhs(n, 7);
+        let mut u = Grid3::zeros(n, n, n);
+        let r0 = residual(&v, &u).norm_l2();
+        for _ in 0..4 {
+            v_cycle(&mut u, &v, 2, 2);
+        }
+        let r_mg = residual(&v, &u).norm_l2();
+        // Four V-cycles should beat r0 by >100x on a smooth problem.
+        assert!(r_mg < r0 / 100.0, "r0={r0} r_mg={r_mg}");
+
+        // Same smoothing effort as pure Jacobi converges far less.
+        let mut uj = Grid3::zeros(n, n, n);
+        for _ in 0..16 {
+            smooth(&mut uj, &v);
+        }
+        let r_j = residual(&v, &uj).norm_l2();
+        assert!(r_mg < r_j / 5.0, "mg={r_mg} jacobi={r_j}");
+    }
+
+    #[test]
+    fn vcycle_flops_scale_cubically() {
+        assert!(vcycle_flops(64) > 7.9 * vcycle_flops(32));
+        assert!(vcycle_flops(64) < 8.1 * vcycle_flops(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "halve evenly")]
+    fn odd_grid_cannot_restrict() {
+        let g = Grid3::zeros(6, 6, 7);
+        let _ = restrict(&g);
+    }
+}

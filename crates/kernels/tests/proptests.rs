@@ -1,0 +1,171 @@
+//! Property-based tests over the computational kernels.
+
+use columbia_kernels::btsolve::{block_thomas, mat_vec, Mat5, Vec5, NVAR};
+use columbia_kernels::complex::Complex;
+use columbia_kernels::dgemm::{dgemm_blocked, dgemm_naive};
+use columbia_kernels::fft::{fft, ifft};
+use columbia_kernels::grid::Grid3;
+use columbia_kernels::linegs::thomas_scalar;
+use columbia_kernels::lusgs::{forward_sweep_hyperplane, forward_sweep_lex, LuSgsCoeffs};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fft_roundtrip_recovers_any_signal(
+        reals in prop::collection::vec(-100.0f64..100.0, 64),
+        imags in prop::collection::vec(-100.0f64..100.0, 64),
+    ) {
+        let orig: Vec<Complex> = reals
+            .iter()
+            .zip(&imags)
+            .map(|(&r, &i)| Complex::new(r, i))
+            .collect();
+        let mut d = orig.clone();
+        fft(&mut d);
+        ifft(&mut d);
+        for (a, b) in d.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(
+        xs in prop::collection::vec(-10.0f64..10.0, 32),
+        ys in prop::collection::vec(-10.0f64..10.0, 32),
+        alpha in -5.0f64..5.0,
+    ) {
+        let x: Vec<Complex> = xs.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let y: Vec<Complex> = ys.iter().map(|&v| Complex::new(0.0, v)).collect();
+        // FFT(αx + y)
+        let mut sum: Vec<Complex> = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| a.scale(alpha) + *b)
+            .collect();
+        fft(&mut sum);
+        // αFFT(x) + FFT(y)
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        fft(&mut fx);
+        fft(&mut fy);
+        for i in 0..32 {
+            let want = fx[i].scale(alpha) + fy[i];
+            prop_assert!((sum[i] - want).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn dgemm_blocked_equals_naive_any_shape(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut c1 = vec![0.5; m * n];
+        let mut c2 = vec![0.5; m * n];
+        dgemm_naive(m, n, k, 1.7, &a, &b, 0.3, &mut c1);
+        dgemm_blocked(m, n, k, 1.7, &a, &b, 0.3, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn thomas_matches_direct_solution(
+        d in prop::collection::vec(-10.0f64..10.0, 1..20),
+        b in 3.0f64..8.0,
+    ) {
+        // Solve with Thomas, verify by applying the operator.
+        let n = d.len();
+        let mut x = d.clone();
+        thomas_scalar(-1.0, b, -1.0, &mut x);
+        for m in 0..n {
+            let mut lhs = b * x[m];
+            if m > 0 {
+                lhs -= x[m - 1];
+            }
+            if m + 1 < n {
+                lhs -= x[m + 1];
+            }
+            prop_assert!((lhs - d[m]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn block_thomas_residual_is_zero(
+        seed in 0u64..500,
+        n in 2usize..10,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rand_block = |dominant: bool| -> Mat5 {
+            let mut m = [[0.0; NVAR]; NVAR];
+            for (i, row) in m.iter_mut().enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = rng.gen_range(-1.0..1.0);
+                    if dominant && i == j {
+                        *v += 12.0;
+                    }
+                }
+            }
+            m
+        };
+        let lower: Vec<Mat5> = (0..n).map(|_| rand_block(false)).collect();
+        let diag: Vec<Mat5> = (0..n).map(|_| rand_block(true)).collect();
+        let upper: Vec<Mat5> = (0..n).map(|_| rand_block(false)).collect();
+        let rhs0: Vec<Vec5> = (0..n)
+            .map(|_| {
+                let mut v = [0.0; NVAR];
+                for e in v.iter_mut() {
+                    *e = rng.gen_range(-3.0..3.0);
+                }
+                v
+            })
+            .collect();
+        let mut x = rhs0.clone();
+        block_thomas(&lower, &diag, &upper, &mut x);
+        // Apply the operator to x and compare against rhs0.
+        for i in 0..n {
+            let mut got = mat_vec(&diag[i], &x[i]);
+            if i > 0 {
+                let l = mat_vec(&lower[i], &x[i - 1]);
+                for v in 0..NVAR {
+                    got[v] += l[v];
+                }
+            }
+            if i + 1 < n {
+                let u = mat_vec(&upper[i], &x[i + 1]);
+                for v in 0..NVAR {
+                    got[v] += u[v];
+                }
+            }
+            for v in 0..NVAR {
+                prop_assert!((got[v] - rhs0[i][v]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn hyperplane_sweep_bitwise_equals_lexicographic(
+        seed in 0u64..200,
+        ni in 2usize..8,
+        nj in 2usize..8,
+        nk in 2usize..8,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rhs = Grid3::from_fn(ni, nj, nk, |_, _, _| rng.gen_range(-5.0..5.0));
+        let init = Grid3::from_fn(ni, nj, nk, |_, _, _| rng.gen_range(-1.0..1.0));
+        let mut a = init.clone();
+        let mut b = init;
+        forward_sweep_lex(&mut a, &rhs, LuSgsCoeffs::default());
+        forward_sweep_hyperplane(&mut b, &rhs, LuSgsCoeffs::default());
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

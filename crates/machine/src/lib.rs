@@ -1,0 +1,47 @@
+//! Hardware model of the Columbia supercluster.
+//!
+//! Columbia (NASA Ames, 2004) was a cluster of twenty 512-processor SGI
+//! Altix nodes. Twelve nodes were Altix 3700 systems; eight were the
+//! double-density 3700 BX2, five of which used faster 1.6 GHz Itanium2
+//! parts with 9 MB L3 caches. This crate models, mechanistically, the
+//! pieces of that machine whose interaction the SC 2005 paper measures:
+//!
+//! * the Itanium2 processor ([`processor`]): clock, dual multiply-add
+//!   issue, the L1/L2/L3 cache hierarchy (L1 holds no floating-point
+//!   data), and the 128-entry floating-point register file;
+//! * the C-Brick packaging ([`brick`]): four CPUs per brick on the 3700,
+//!   eight on the BX2, with two CPUs sharing each front-side bus — the
+//!   mechanism behind the paper's §4.2 "CPU stride" observations;
+//! * the memory system ([`memory`]): STREAM-style sustained bandwidth as
+//!   a function of how many CPUs share a bus and of cache residency;
+//! * the NUMAlink fat-tree topology ([`topology`]): hop distances between
+//!   CPUs inside a node, doubled link bandwidth on the BX2 (NUMAlink4);
+//! * node ([`node`]) and cluster ([`cluster`]) configuration, including
+//!   the InfiniBand connection-limit formula from §2 of the paper that
+//!   caps pure-MPI runs at three Altix nodes;
+//! * calibration constants ([`calib`]) tying model parameters to the
+//!   numbers the paper publishes.
+//!
+//! Everything here is a *performance model*, not a functional simulator:
+//! it answers "how long does this take / how many bytes per second", and
+//! the discrete-event engine in `columbia-simnet` composes those answers
+//! into end-to-end benchmark timings.
+
+pub mod brick;
+pub mod calib;
+pub mod cluster;
+pub mod memory;
+pub mod node;
+pub mod processor;
+pub mod topology;
+
+pub use cluster::{ClusterConfig, CpuId, NodeId};
+pub use node::{NodeKind, NodeModel};
+pub use processor::ProcessorModel;
+
+/// One gigabyte per second, in bytes per second.
+pub const GB: f64 = 1.0e9;
+/// One gigaflop per second, in flop/s.
+pub const GFLOP: f64 = 1.0e9;
+/// One microsecond, in seconds.
+pub const MICRO: f64 = 1.0e-6;

@@ -1,0 +1,76 @@
+//! Property-based tests over the machine model invariants.
+
+use columbia_machine::brick::CBrick;
+use columbia_machine::memory::{MemoryModel, StreamOp};
+use columbia_machine::node::{NodeKind, NodeModel};
+use columbia_machine::topology::NodeTopology;
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = NodeKind> {
+    prop::sample::select(vec![NodeKind::Altix3700, NodeKind::Bx2a, NodeKind::Bx2b])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hop_distance_is_a_metric(
+        a in 0u32..512,
+        b in 0u32..512,
+        c in 0u32..512,
+        kind in any_kind(),
+    ) {
+        let topo = NodeTopology::new(NodeModel::new(kind).brick);
+        // Symmetry and identity.
+        prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+        prop_assert_eq!(topo.hops(a, a), 0);
+        // Triangle inequality (with the +1 brick-internal hop slack:
+        // the tree metric satisfies it exactly).
+        prop_assert!(topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c) + 1);
+    }
+
+    #[test]
+    fn bus_sharers_counts_are_consistent(
+        cpus in prop::collection::btree_set(0u32..64, 1..32),
+    ) {
+        let brick = CBrick::bx2();
+        let active: Vec<u32> = cpus.into_iter().collect();
+        for &c in &active {
+            let sharers = brick.bus_sharers(c, &active);
+            prop_assert!(sharers >= 1, "a CPU shares with itself");
+            prop_assert!(sharers <= brick.cpus_per_bus);
+        }
+    }
+
+    #[test]
+    fn stream_bandwidth_decreases_with_sharers(kind in any_kind(), op_idx in 0usize..4) {
+        let node = NodeModel::new(kind);
+        let mem = MemoryModel::new(&node);
+        let op = StreamOp::ALL[op_idx];
+        let solo = mem.stream_bandwidth(op, 1);
+        let shared = mem.stream_bandwidth(op, 2);
+        prop_assert!(solo > shared);
+        prop_assert!(shared > 0.0);
+    }
+
+    #[test]
+    fn numa_penalty_monotone(kind in any_kind(), f1 in 0.0f64..1.0, f2 in 0.0f64..1.0) {
+        let node = NodeModel::new(kind);
+        let mem = MemoryModel::new(&node);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(mem.numa_penalty(lo) <= mem.numa_penalty(hi) + 1e-15);
+        prop_assert!(mem.numa_penalty(lo) >= 1.0);
+    }
+
+    #[test]
+    fn compute_seconds_scales_linearly_with_flops(
+        kind in any_kind(),
+        flops in 1.0f64..1e12,
+        eff in 0.01f64..1.0,
+    ) {
+        let p = NodeModel::new(kind).processor;
+        let t1 = p.compute_seconds(flops, eff);
+        let t2 = p.compute_seconds(2.0 * flops, eff);
+        prop_assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests over the MD simulator's physical invariants.
+
+use columbia_md::MdSystem;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn newtons_third_law_holds(seed in 0u64..10_000) {
+        // Total force on an isolated periodic system is exactly zero.
+        let mut sys = MdSystem::fcc(4, 0.8, 0.7, seed);
+        sys.compute_forces_cells();
+        let mut net = [0.0f64; 3];
+        for f in &sys.force {
+            for a in 0..3 {
+                net[a] += f[a];
+            }
+        }
+        for a in 0..3 {
+            prop_assert!(net[a].abs() < 1e-8, "net force {net:?}");
+        }
+    }
+
+    #[test]
+    fn momentum_conserved_for_any_seed_and_dt(
+        seed in 0u64..10_000,
+        dt in 0.0005f64..0.003,
+    ) {
+        let mut sys = MdSystem::fcc(4, 0.8, 0.5, seed);
+        let p0 = sys.momentum();
+        for _ in 0..10 {
+            sys.step(dt);
+        }
+        let p1 = sys.momentum();
+        for a in 0..3 {
+            prop_assert!((p1[a] - p0[a]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn positions_stay_in_the_box(seed in 0u64..10_000) {
+        let mut sys = MdSystem::fcc(4, 0.8, 1.0, seed);
+        for _ in 0..10 {
+            sys.step(0.002);
+        }
+        for p in &sys.pos {
+            for a in 0..3 {
+                prop_assert!((0.0..sys.box_len + 1e-12).contains(&p[a]));
+            }
+        }
+    }
+
+    #[test]
+    fn temperature_scales_with_initialization(
+        t_lo in 0.1f64..0.4,
+        mult in 2.0f64..4.0,
+    ) {
+        let cold = MdSystem::fcc(4, 0.8, t_lo, 7);
+        let hot = MdSystem::fcc(4, 0.8, t_lo * mult, 7);
+        let ratio = hot.temperature() / cold.temperature();
+        prop_assert!((ratio - mult).abs() / mult < 0.05, "ratio={ratio} want {mult}");
+    }
+}

@@ -1,0 +1,31 @@
+//! The NAS Parallel Benchmarks subset the paper runs (§3.2, §4.1.2,
+//! §4.4): three kernels — MG, CG, FT — and one simulated application,
+//! BT, in both MPI and OpenMP flavours.
+//!
+//! Each benchmark module carries three layers:
+//!
+//! 1. a **real mini-implementation** built on `columbia-kernels`
+//!    (multigrid V-cycles, CG power iteration, 3-D FFT evolution, ADI
+//!    block-tridiagonal sweeps) that executes small classes on the host
+//!    and self-verifies;
+//! 2. an **analytic profile** ([`profile::BenchmarkProfile`]): flop and
+//!    memory-traffic counts per iteration, resident bytes, efficiency,
+//!    and parallelization traits, derived from the problem sizes;
+//! 3. a **workload-spec generator** that emits the benchmark's
+//!    communication structure (halo exchanges, transposes, reductions)
+//!    for the discrete-event simulator at Columbia scale.
+//!
+//! [`perf`] ties them together into the per-CPU Gflop/s sweeps of
+//! Fig. 6 and the compiler study of Fig. 8.
+
+pub mod bt;
+pub mod cg;
+pub mod class;
+pub mod ft;
+pub mod mg;
+pub mod perf;
+pub mod profile;
+
+pub use class::NpbClass;
+pub use perf::{gflops_per_cpu, NpbBenchmark, Paradigm};
+pub use profile::BenchmarkProfile;

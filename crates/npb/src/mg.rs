@@ -1,0 +1,212 @@
+//! NPB MG: multigrid V-cycles on a periodic `n³` Poisson problem.
+//!
+//! "MG tests long- and short-distance communication": every V-cycle
+//! level exchanges halos, and coarse levels reach topologically far
+//! ranks. The real mini-run drives `columbia_kernels::mg`; the
+//! simulator spec emits per-level halo exchanges plus the norm
+//! allreduce.
+
+use columbia_kernels::grid::Grid3;
+use columbia_kernels::mg as kmg;
+use columbia_runtime::compiler::KernelClass;
+use columbia_runtime::exec::{SpecOp, WorkloadSpec};
+
+use crate::class::NpbClass;
+use crate::profile::BenchmarkProfile;
+
+/// Grid edge and iteration count per class (NPB3.1 MG sizes).
+pub fn size(class: NpbClass) -> (usize, u32) {
+    match class {
+        NpbClass::S => (32, 4),
+        NpbClass::W => (128, 4),
+        NpbClass::A => (256, 4),
+        NpbClass::B => (256, 20),
+        NpbClass::C => (512, 20),
+        NpbClass::D => (1024, 50),
+    }
+}
+
+/// Analytic profile.
+///
+/// Per V-cycle: ~58 flops/fine point summed over the level hierarchy
+/// (×8/7); ~12 array passes of traffic; resident data is the u/v/r
+/// triple over the hierarchy, ~27.4 bytes × n³ each… ×8-byte words.
+pub fn profile(class: NpbClass) -> BenchmarkProfile {
+    let (n, iterations) = size(class);
+    let n3 = (n * n * n) as f64;
+    BenchmarkProfile {
+        flops_per_iter: kmg::vcycle_flops(n),
+        mem_bytes_per_iter: 110.0 * n3,
+        total_bytes: (27.4 * n3) as u64,
+        iterations,
+        efficiency: 0.15,
+        serial_fraction: 0.02,
+        remote_share: 0.45,
+        kernel: KernelClass::Multigrid,
+    }
+}
+
+/// Safe halo exchange: both sends posted eagerly before either receive,
+/// so any neighbour ordering is deadlock-free.
+pub fn push_halo(ops: &mut Vec<SpecOp>, r: usize, np: usize, dist: usize, bytes: u64, tag: u64) {
+    if np < 2 || dist == 0 || dist >= np {
+        return;
+    }
+    let up = (r + dist) % np;
+    let down = (r + np - dist) % np;
+    ops.push(SpecOp::Send { to: up, bytes, tag });
+    if down != up {
+        ops.push(SpecOp::Send { to: down, bytes, tag: tag + 1 });
+        ops.push(SpecOp::Recv { from: up, tag: tag + 1 });
+    }
+    ops.push(SpecOp::Recv { from: down, tag });
+}
+
+/// MPI workload spec: `iters` V-cycles on `np` ranks.
+///
+/// Each cycle: the partitioned compute phase, halo exchanges on the
+/// three finest levels (face sizes halving per level), a far-neighbour
+/// exchange standing in for the coarse levels, and the residual-norm
+/// allreduce.
+pub fn spec_mpi(class: NpbClass, np: usize, iters: u32) -> WorkloadSpec {
+    assert!(np >= 1);
+    let prof = profile(class);
+    let (n, _) = size(class);
+    let mut spec = WorkloadSpec::with_ranks(np);
+    // Face of the per-rank subdomain, two halo cells deep.
+    let face_bytes = (((n * n * n) as f64 / np as f64).powf(2.0 / 3.0) * 8.0 * 2.0) as u64;
+    for it in 0..iters {
+        for (r, ops) in spec.ranks.iter_mut().enumerate() {
+            ops.push(SpecOp::Work(prof.rank_phase(np)));
+            let base = (it as u64) * 1000;
+            // Three finest levels: neighbour distance 1, sizes halving.
+            for level in 0..3u64 {
+                let bytes = face_bytes >> level;
+                push_halo(ops, r, np, 1, bytes.max(64), base + level * 10);
+            }
+            // Coarse levels reach far ranks with small messages.
+            push_halo(ops, r, np, (np / 2).max(1), 256, base + 100);
+            ops.push(SpecOp::AllReduce { bytes: 8 });
+        }
+    }
+    spec
+}
+
+/// Result of a real host-scale MG run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MgRunResult {
+    /// Initial residual L2 norm.
+    pub initial_residual: f64,
+    /// Final residual L2 norm after the class's V-cycles.
+    pub final_residual: f64,
+    /// Convergence factor per cycle (geometric mean).
+    pub rate_per_cycle: f64,
+}
+
+impl MgRunResult {
+    /// NPB-style verification: multigrid must contract the residual by
+    /// a healthy factor every cycle.
+    pub fn verified(&self) -> bool {
+        self.final_residual < self.initial_residual && self.rate_per_cycle < 0.5
+    }
+}
+
+/// Run MG for real at a (small) class on the host.
+pub fn run_real(class: NpbClass) -> MgRunResult {
+    let (n, iters) = size(class);
+    assert!(n <= 64, "host-scale real runs are class S only (n={n})");
+    let mut v = Grid3::from_fn(n, n, n, |i, j, k| {
+        // NPB MG charges ±1 at scattered points; a deterministic
+        // variant keeps the run reproducible.
+        match (7 * i + 5 * j + 3 * k) % 97 {
+            0 => 1.0,
+            48 => -1.0,
+            _ => 0.0,
+        }
+    });
+    kmg::remove_mean(&mut v);
+    let mut u = Grid3::zeros(n, n, n);
+    let initial = kmg::residual(&v, &u).norm_l2();
+    for _ in 0..iters {
+        kmg::v_cycle(&mut u, &v, 2, 2);
+    }
+    let final_r = kmg::residual(&v, &u).norm_l2();
+    MgRunResult {
+        initial_residual: initial,
+        final_residual: final_r,
+        rate_per_cycle: (final_r / initial).powf(1.0 / iters as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_s_real_run_verifies() {
+        let r = run_real(NpbClass::S);
+        assert!(r.verified(), "{r:?}");
+        assert!(r.final_residual < r.initial_residual * 1e-2);
+    }
+
+    #[test]
+    fn profiles_grow_with_class() {
+        let a = profile(NpbClass::A);
+        let c = profile(NpbClass::C);
+        assert!(c.flops_per_iter > 7.0 * a.flops_per_iter);
+        assert!(c.total_bytes > 7 * a.total_bytes);
+    }
+
+    #[test]
+    fn class_b_reruns_class_a_grid_longer() {
+        let (na, ia) = size(NpbClass::A);
+        let (nb, ib) = size(NpbClass::B);
+        assert_eq!(na, nb);
+        assert!(ib > ia);
+    }
+
+    #[test]
+    fn spec_has_per_rank_programs_and_collectives() {
+        let spec = spec_mpi(NpbClass::B, 16, 2);
+        assert_eq!(spec.nranks(), 16);
+        for ops in &spec.ranks {
+            let allreduces = ops.iter().filter(|o| matches!(o, SpecOp::AllReduce { .. })).count();
+            assert_eq!(allreduces, 2, "one norm allreduce per cycle");
+            assert!(ops.iter().any(|o| matches!(o, SpecOp::Send { .. })));
+        }
+    }
+
+    #[test]
+    fn single_rank_spec_has_no_messages() {
+        let spec = spec_mpi(NpbClass::A, 1, 1);
+        assert!(spec.ranks[0]
+            .iter()
+            .all(|o| !matches!(o, SpecOp::Send { .. } | SpecOp::Recv { .. })));
+    }
+
+    #[test]
+    fn halo_helper_is_symmetric() {
+        // Every Send must have a matching Recv on the partner.
+        let np = 6;
+        let mut all: Vec<Vec<SpecOp>> = vec![Vec::new(); np];
+        for (r, ops) in all.iter_mut().enumerate() {
+            push_halo(ops, r, np, 1, 128, 0);
+        }
+        let sends: Vec<(usize, usize, u64)> = all
+            .iter()
+            .enumerate()
+            .flat_map(|(r, ops)| {
+                ops.iter().filter_map(move |o| match o {
+                    SpecOp::Send { to, tag, .. } => Some((r, *to, *tag)),
+                    _ => None,
+                })
+            })
+            .collect();
+        for (from, to, tag) in sends {
+            let matched = all[to].iter().any(
+                |o| matches!(o, SpecOp::Recv { from: f, tag: t } if *f == from && *t == tag),
+            );
+            assert!(matched, "unmatched send {from}->{to} tag {tag}");
+        }
+    }
+}

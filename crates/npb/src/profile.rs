@@ -1,0 +1,104 @@
+//! Analytic benchmark profiles feeding the simulator.
+//!
+//! A [`BenchmarkProfile`] is everything the executor needs to cost a
+//! benchmark besides its communication structure: per-iteration flop
+//! and memory-traffic totals (derived from the problem sizes the NPB
+//! specification fixes), the resident data volume (for cache-residency
+//! effects), the fraction of peak the inner loops reach on an
+//! Itanium2, and the OpenMP parallelization traits.
+
+use columbia_runtime::compiler::KernelClass;
+use columbia_runtime::compute::WorkPhase;
+
+/// Static cost profile of one benchmark at one class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Total floating-point operations per timed iteration.
+    pub flops_per_iter: f64,
+    /// Total memory traffic per timed iteration, bytes.
+    pub mem_bytes_per_iter: f64,
+    /// Resident data volume, bytes (split across ranks/threads).
+    pub total_bytes: u64,
+    /// Timed iterations the benchmark runs.
+    pub iterations: u32,
+    /// Fraction of Itanium2 peak the compute kernels reach.
+    pub efficiency: f64,
+    /// OpenMP serial fraction.
+    pub serial_fraction: f64,
+    /// OpenMP cross-brick traffic share (shared-array access pattern).
+    pub remote_share: f64,
+    /// Dominant loop shape for the compiler model.
+    pub kernel: KernelClass,
+}
+
+impl BenchmarkProfile {
+    /// Total flops over the full run.
+    pub fn total_flops(&self) -> f64 {
+        self.flops_per_iter * self.iterations as f64
+    }
+
+    /// The per-rank compute phase for one iteration when the data is
+    /// split `np` ways (MPI decomposition).
+    pub fn rank_phase(&self, np: usize) -> WorkPhase {
+        let np = np as f64;
+        WorkPhase::new(
+            self.flops_per_iter / np,
+            self.mem_bytes_per_iter / np,
+            (self.total_bytes as f64 / np) as u64,
+            self.efficiency,
+            self.kernel,
+        )
+        .with_serial_fraction(self.serial_fraction)
+        .with_remote_share(self.remote_share)
+    }
+
+    /// The whole-benchmark phase for a shared-memory (OpenMP) run: one
+    /// rank owns everything; the thread team splits it internally.
+    ///
+    /// The per-worker working set is the shared volume divided by the
+    /// team, which is what decides cache residency per CPU.
+    pub fn omp_phase(&self, threads: usize) -> WorkPhase {
+        let mut p = self.rank_phase(1);
+        p.working_set = (self.total_bytes as f64 / threads.max(1) as f64) as u64;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> BenchmarkProfile {
+        BenchmarkProfile {
+            flops_per_iter: 1.0e9,
+            mem_bytes_per_iter: 4.0e9,
+            total_bytes: 4 << 30,
+            iterations: 20,
+            efficiency: 0.1,
+            serial_fraction: 0.02,
+            remote_share: 0.5,
+            kernel: KernelClass::Fourier,
+        }
+    }
+
+    #[test]
+    fn total_flops_multiplies_iterations() {
+        assert_eq!(profile().total_flops(), 2.0e10);
+    }
+
+    #[test]
+    fn rank_phase_splits_everything() {
+        let p = profile().rank_phase(16);
+        assert_eq!(p.flops, 1.0e9 / 16.0);
+        assert_eq!(p.mem_bytes, 4.0e9 / 16.0);
+        assert_eq!(p.working_set, (4u64 << 30) / 16);
+        assert_eq!(p.remote_share, 0.5);
+    }
+
+    #[test]
+    fn omp_phase_keeps_totals_splits_working_set() {
+        let p = profile().omp_phase(64);
+        assert_eq!(p.flops, 1.0e9);
+        assert_eq!(p.working_set, (4u64 << 30) / 64);
+    }
+}

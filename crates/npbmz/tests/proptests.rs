@@ -1,0 +1,63 @@
+//! Property-based tests over zone decomposition and load balancing.
+
+use columbia_npbmz::balance::{bin_pack, round_robin};
+use columbia_npbmz::zones::{even_zones, uneven_zones, MzClass, Zone};
+use proptest::prelude::*;
+
+fn any_class() -> impl Strategy<Value = MzClass> {
+    prop::sample::select(vec![
+        MzClass::S,
+        MzClass::W,
+        MzClass::A,
+        MzClass::B,
+        MzClass::C,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn decompositions_always_cover_the_mesh(class in any_class()) {
+        for zones in [even_zones(class), uneven_zones(class)] {
+            let pts: u64 = zones.iter().map(Zone::points).sum();
+            prop_assert_eq!(pts, class.total_points());
+            prop_assert_eq!(zones.len(), class.zone_count());
+            prop_assert!(zones.iter().all(|z| z.ni >= 1 && z.nj >= 1 && z.nk >= 1));
+        }
+    }
+
+    #[test]
+    fn bin_pack_assigns_everything_once(
+        class in any_class(),
+        ranks_frac in 0.05f64..1.0,
+    ) {
+        let zones = uneven_zones(class);
+        let ranks = ((zones.len() as f64 * ranks_frac) as usize).max(1);
+        let a = bin_pack(&zones, ranks);
+        let mut seen = vec![false; zones.len()];
+        let mut load_check = vec![0u64; ranks];
+        for (g, ids) in a.zone_ids.iter().enumerate() {
+            for &id in ids {
+                prop_assert!(!seen[id]);
+                seen[id] = true;
+                load_check[g] += zones[id].points();
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(&load_check, &a.load);
+        prop_assert!(a.imbalance() >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn bin_pack_never_loses_to_round_robin(
+        class in any_class(),
+        ranks in 2usize..16,
+    ) {
+        let zones = uneven_zones(class);
+        prop_assume!(zones.len() >= ranks);
+        let bp = bin_pack(&zones, ranks);
+        let rr = round_robin(&zones, ranks);
+        prop_assert!(bp.imbalance() <= rr.imbalance() + 1e-9);
+    }
+}

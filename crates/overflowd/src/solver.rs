@@ -1,0 +1,195 @@
+//! A real miniature overset solver: two overlapping blocks advance an
+//! implicit model equation with LU-SGS sweeps, exchanging fringe
+//! values by trilinear donor interpolation every step — the
+//! time-loop / grid-loop / boundary-update structure of §3.5 at host
+//! scale.
+
+use columbia_kernels::grid::Grid3;
+use columbia_kernels::lusgs::{lusgs_iteration, model_residual, LuSgsCoeffs};
+use columbia_overset::block::{Bbox, Block};
+use columbia_overset::connect::find_donor;
+
+/// Two overlapping blocks with per-block fields.
+#[derive(Debug, Clone)]
+pub struct OversetPair {
+    /// Grid components (overlapping along x).
+    pub blocks: [Block; 2],
+    /// Solution fields.
+    pub fields: [Grid3; 2],
+    /// Right-hand sides.
+    pub rhs: [Grid3; 2],
+    /// Solver coefficients.
+    pub coeffs: LuSgsCoeffs,
+}
+
+impl OversetPair {
+    /// Two `n³` blocks overlapping by 40% along x, with a smooth
+    /// right-hand side continuous across the pair.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 6);
+        let mk_block = |id: usize, x0: f64| Block {
+            id,
+            dims: (n, n, n),
+            bbox: Bbox {
+                min: [x0, 0.0, 0.0],
+                max: [x0 + 1.0, 1.0, 1.0],
+            },
+        };
+        let blocks = [mk_block(0, 0.0), mk_block(1, 0.6)];
+        let rhs_fn = |b: &Block, i: usize, j: usize, k: usize| {
+            let p = b.point(i, j, k);
+            (2.0 * p[0]).sin() + 0.5 * (3.0 * p[1]).cos() + 0.25 * p[2]
+        };
+        let rhs = [
+            Grid3::from_fn(n, n, n, |i, j, k| rhs_fn(&blocks[0], i, j, k)),
+            Grid3::from_fn(n, n, n, |i, j, k| rhs_fn(&blocks[1], i, j, k)),
+        ];
+        OversetPair {
+            blocks,
+            fields: [Grid3::zeros(n, n, n), Grid3::zeros(n, n, n)],
+            rhs,
+            coeffs: LuSgsCoeffs { diag: 7.0, off: 1.0 },
+        }
+    }
+
+    /// Update the fringe (outermost x-plane facing the partner) of
+    /// each block from its donor in the other block.
+    pub fn exchange_boundaries(&mut self) {
+        let (n_i, n_j, n_k) = self.fields[0].dims();
+        for recv in 0..2 {
+            let donor_idx = 1 - recv;
+            // The fringe plane facing the partner: the max-x face of
+            // block 0, the min-x face of block 1.
+            let i_face = if recv == 0 { n_i - 1 } else { 0 };
+            let mut updates = Vec::new();
+            for j in 0..n_j {
+                for k in 0..n_k {
+                    let p = self.blocks[recv].point(i_face, j, k);
+                    if let Some(st) = find_donor(&self.blocks[donor_idx], p) {
+                        let donor_field = &self.fields[donor_idx];
+                        let v = st.interpolate(|i, j, k| donor_field.get(i, j, k));
+                        updates.push((j, k, v));
+                    }
+                }
+            }
+            for (j, k, v) in updates {
+                self.fields[recv].set(i_face, j, k, v);
+            }
+        }
+    }
+
+    /// One time step: grid-loop (LU-SGS per block), then the overset
+    /// boundary update.
+    pub fn step(&mut self) {
+        for b in 0..2 {
+            lusgs_iteration(&mut self.fields[b], &self.rhs[b], self.coeffs);
+        }
+        self.exchange_boundaries();
+    }
+
+    /// Combined residual over both blocks.
+    pub fn residual(&self) -> f64 {
+        (0..2)
+            .map(|b| model_residual(&self.fields[b], &self.rhs[b], self.coeffs))
+            .sum()
+    }
+
+    /// Largest mismatch between each block's fringe value and the
+    /// donor interpolation it should equal (0 right after an
+    /// exchange).
+    pub fn boundary_mismatch(&self) -> f64 {
+        let (n_i, n_j, n_k) = self.fields[0].dims();
+        let mut worst = 0.0f64;
+        for recv in 0..2 {
+            let donor_idx = 1 - recv;
+            let i_face = if recv == 0 { n_i - 1 } else { 0 };
+            for j in 0..n_j {
+                for k in 0..n_k {
+                    let p = self.blocks[recv].point(i_face, j, k);
+                    if let Some(st) = find_donor(&self.blocks[donor_idx], p) {
+                        let donor_field = &self.fields[donor_idx];
+                        let v = st.interpolate(|i, j, k| donor_field.get(i, j, k));
+                        worst = worst.max((self.fields[recv].get(i_face, j, k) - v).abs());
+                    }
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_overlap() {
+        let p = OversetPair::new(8);
+        assert!(p.blocks[0].bbox.overlaps(&p.blocks[1].bbox));
+    }
+
+    #[test]
+    fn residual_contracts_over_steps() {
+        let mut p = OversetPair::new(10);
+        let r0 = p.residual();
+        for _ in 0..15 {
+            p.step();
+        }
+        // The fringe overwrite keeps a Schwarz-style boundary residual
+        // alive, so contraction is steady rather than geometric.
+        let r = p.residual();
+        assert!(r < 0.35 * r0, "r0={r0} r={r}");
+        let mut q = p.clone();
+        for _ in 0..15 {
+            q.step();
+        }
+        assert!(q.residual() <= r * 1.0001, "must keep contracting");
+    }
+
+    #[test]
+    fn boundaries_consistent_after_exchange() {
+        let mut p = OversetPair::new(10);
+        for _ in 0..5 {
+            p.step();
+        }
+        assert!(p.boundary_mismatch() < 1e-12);
+    }
+
+    #[test]
+    fn exchange_actually_moves_data() {
+        let mut p = OversetPair::new(8);
+        // Give the donor block a distinctive field.
+        let (ni, nj, nk) = p.fields[1].dims();
+        for i in 0..ni {
+            for j in 0..nj {
+                for k in 0..nk {
+                    p.fields[1].set(i, j, k, 42.0);
+                }
+            }
+        }
+        p.exchange_boundaries();
+        // Block 0's max-x fringe now carries interpolated 42s.
+        let got = p.fields[0].get(ni - 1, 3, 3);
+        assert!((got - 42.0).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn solution_is_continuous_across_the_overlap() {
+        let mut p = OversetPair::new(12);
+        for _ in 0..30 {
+            p.step();
+        }
+        // Sample a physical point inside the overlap from both blocks.
+        let probe = [0.8, 0.5, 0.5];
+        let va = find_donor(&p.blocks[0], probe)
+            .unwrap()
+            .interpolate(|i, j, k| p.fields[0].get(i, j, k));
+        let vb = find_donor(&p.blocks[1], probe)
+            .unwrap()
+            .interpolate(|i, j, k| p.fields[1].get(i, j, k));
+        assert!(
+            (va - vb).abs() < 0.05 * va.abs().max(1.0),
+            "block solutions diverge in the overlap: {va} vs {vb}"
+        );
+    }
+}

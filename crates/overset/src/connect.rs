@@ -1,0 +1,185 @@
+//! Inter-grid connectivity: donor search and trilinear interpolation.
+//!
+//! A fringe point of one block takes its value from the *donor cell*
+//! of an overlapping block by trilinear interpolation — "connectivity
+//! between neighboring grids is established by interpolation at the
+//! grid outer boundaries" (§3.4). Adding a component only requires new
+//! connectivity, never regridding, which is the property that lets
+//! OVERFLOW-D move bodies in relative motion.
+
+use crate::block::Block;
+
+/// An interpolation stencil: donor block, base cell, and the eight
+/// trilinear weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DonorStencil {
+    /// Donor block id.
+    pub donor: usize,
+    /// Lower corner cell index in the donor grid.
+    pub cell: (usize, usize, usize),
+    /// Trilinear weights in (i, j, k) bit order: index `b` weights the
+    /// corner offset `(b&1, (b>>1)&1, (b>>2)&1)`.
+    pub weights: [f64; 8],
+}
+
+impl DonorStencil {
+    /// Interpolate a field sampled on the donor grid by `f(i, j, k)`.
+    pub fn interpolate(&self, f: impl Fn(usize, usize, usize) -> f64) -> f64 {
+        let (ci, cj, ck) = self.cell;
+        let mut v = 0.0;
+        for b in 0..8 {
+            let (di, dj, dk) = (b & 1, (b >> 1) & 1, (b >> 2) & 1);
+            v += self.weights[b] * f(ci + di, cj + dj, ck + dk);
+        }
+        v
+    }
+
+    /// Weights must form a partition of unity.
+    pub fn weight_sum(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+}
+
+/// Locate the donor stencil for physical point `p` in `donor`; `None`
+/// when `p` lies outside the donor's box.
+pub fn find_donor(donor: &Block, p: [f64; 3]) -> Option<DonorStencil> {
+    if !donor.bbox.contains(p) {
+        return None;
+    }
+    let h = donor.spacing();
+    let dims = [donor.dims.0, donor.dims.1, donor.dims.2];
+    let mut cell = [0usize; 3];
+    let mut frac = [0.0f64; 3];
+    for a in 0..3 {
+        let x = (p[a] - donor.bbox.min[a]) / h[a];
+        let c = (x.floor() as usize).min(dims[a] - 2);
+        cell[a] = c;
+        frac[a] = (x - c as f64).clamp(0.0, 1.0);
+    }
+    let mut weights = [0.0; 8];
+    for (b, w) in weights.iter_mut().enumerate() {
+        let mut wt = 1.0;
+        for a in 0..3 {
+            let bit = (b >> a) & 1;
+            wt *= if bit == 1 { frac[a] } else { 1.0 - frac[a] };
+        }
+        *w = wt;
+    }
+    Some(DonorStencil {
+        donor: donor.id,
+        cell: (cell[0], cell[1], cell[2]),
+        weights,
+    })
+}
+
+/// Count the fringe points of `receiver` that find donors in `donor`
+/// (sampled on the receiver's outer faces) and the implied exchange
+/// volume in bytes for `nvars` variables.
+pub fn exchange_volume(receiver: &Block, donor: &Block, nvars: usize) -> u64 {
+    if !receiver.bbox.overlaps(&donor.bbox) {
+        return 0;
+    }
+    let (ni, nj, nk) = receiver.dims;
+    let mut found = 0u64;
+    // Sample the six outer faces.
+    let mut visit = |i: usize, j: usize, k: usize| {
+        if find_donor(donor, receiver.point(i, j, k)).is_some() {
+            found += 1;
+        }
+    };
+    for j in 0..nj {
+        for k in 0..nk {
+            visit(0, j, k);
+            visit(ni - 1, j, k);
+        }
+    }
+    for i in 1..ni - 1 {
+        for k in 0..nk {
+            visit(i, 0, k);
+            visit(i, nj - 1, k);
+        }
+    }
+    for i in 1..ni - 1 {
+        for j in 1..nj - 1 {
+            visit(i, j, 0);
+            visit(i, j, nk - 1);
+        }
+    }
+    found * nvars as u64 * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Bbox;
+
+    fn unit_block(id: usize, min: [f64; 3], max: [f64; 3], n: usize) -> Block {
+        Block {
+            id,
+            dims: (n, n, n),
+            bbox: Bbox { min, max },
+        }
+    }
+
+    #[test]
+    fn weights_partition_unity() {
+        let donor = unit_block(3, [0.0; 3], [1.0; 3], 11);
+        for p in [[0.25, 0.5, 0.75], [0.01, 0.99, 0.5], [1.0, 1.0, 1.0]] {
+            let s = find_donor(&donor, p).unwrap();
+            assert!((s.weight_sum() - 1.0).abs() < 1e-12);
+            assert_eq!(s.donor, 3);
+        }
+    }
+
+    #[test]
+    fn outside_point_has_no_donor() {
+        let donor = unit_block(0, [0.0; 3], [1.0; 3], 11);
+        assert!(find_donor(&donor, [1.5, 0.5, 0.5]).is_none());
+    }
+
+    #[test]
+    fn interpolation_is_exact_for_linear_fields() {
+        // Trilinear interpolation reproduces a + bx + cy + dz exactly.
+        let donor = unit_block(0, [0.0; 3], [1.0; 3], 21);
+        let h = donor.spacing();
+        let field = |i: usize, j: usize, k: usize| {
+            let x = i as f64 * h[0];
+            let y = j as f64 * h[1];
+            let z = k as f64 * h[2];
+            1.0 + 2.0 * x - 3.0 * y + 0.5 * z
+        };
+        for p in [[0.33, 0.67, 0.12], [0.501, 0.499, 0.011]] {
+            let s = find_donor(&donor, p).unwrap();
+            let got = s.interpolate(field);
+            let want = 1.0 + 2.0 * p[0] - 3.0 * p[1] + 0.5 * p[2];
+            assert!((got - want).abs() < 1e-10, "at {p:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn grid_point_lands_on_exact_value() {
+        let donor = unit_block(0, [0.0; 3], [1.0; 3], 11);
+        let p = donor.point(3, 7, 5);
+        let s = find_donor(&donor, p).unwrap();
+        let field = |i: usize, j: usize, k: usize| (i * 100 + j * 10 + k) as f64;
+        assert!((s.interpolate(field) - 375.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exchange_volume_zero_without_overlap() {
+        let a = unit_block(0, [0.0; 3], [1.0; 3], 8);
+        let b = unit_block(1, [5.0; 3], [6.0; 3], 8);
+        assert_eq!(exchange_volume(&a, &b, 5), 0);
+    }
+
+    #[test]
+    fn exchange_volume_counts_overlapping_fringe() {
+        let a = unit_block(0, [0.0; 3], [1.0; 3], 8);
+        let b = unit_block(1, [0.5, 0.0, 0.0], [1.5, 1.0, 1.0], 8);
+        let v = exchange_volume(&a, &b, 5);
+        assert!(v > 0);
+        // At most the whole outer surface of `a`.
+        let surface = 8u64 * 8 * 8 - 6 * 6 * 6;
+        assert!(v <= surface * 5 * 8);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests over the overset substrate.
+
+use columbia_overset::block::{Bbox, Block};
+use columbia_overset::connect::find_donor;
+use columbia_overset::group_blocks;
+use columbia_overset::systems::{rotor_wake, turbopump};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn donor_weights_always_partition_unity(
+        x in 0.0f64..1.0,
+        y in 0.0f64..1.0,
+        z in 0.0f64..1.0,
+        n in 4usize..30,
+    ) {
+        let donor = Block {
+            id: 0,
+            dims: (n, n, n),
+            bbox: Bbox { min: [0.0; 3], max: [1.0; 3] },
+        };
+        let st = find_donor(&donor, [x, y, z]).expect("inside the box");
+        prop_assert!((st.weight_sum() - 1.0).abs() < 1e-12);
+        prop_assert!(st.weights.iter().all(|&w| (-1e-12..=1.0 + 1e-12).contains(&w)));
+        // Donor cell is a valid lower corner.
+        let (ci, cj, ck) = st.cell;
+        prop_assert!(ci + 1 < n && cj + 1 < n && ck + 1 < n);
+    }
+
+    #[test]
+    fn interpolation_bounded_by_field_extremes(
+        x in 0.0f64..1.0,
+        y in 0.0f64..1.0,
+        z in 0.0f64..1.0,
+        lo in -10.0f64..0.0,
+        hi in 0.0f64..10.0,
+    ) {
+        // Trilinear interpolation of a field in [lo, hi] stays in
+        // [lo, hi] (convex combination).
+        let donor = Block {
+            id: 0,
+            dims: (8, 8, 8),
+            bbox: Bbox { min: [0.0; 3], max: [1.0; 3] },
+        };
+        let st = find_donor(&donor, [x, y, z]).unwrap();
+        let field = |i: usize, j: usize, k: usize| {
+            lo + (hi - lo) * (((i * 31 + j * 17 + k * 7) % 13) as f64 / 12.0)
+        };
+        let v = st.interpolate(field);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "v={v} not in [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn grouping_partitions_any_system(
+        scale_pct in 2u32..10,
+        ngroups in 1usize..64,
+    ) {
+        let sys = turbopump(scale_pct as f64 / 100.0);
+        prop_assume!(sys.len() >= ngroups);
+        let g = group_blocks(&sys, ngroups);
+        let total: u64 = g.load.iter().sum();
+        prop_assert_eq!(total, sys.total_points());
+        let assigned: usize = g.groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(assigned, sys.len());
+        prop_assert!(g.imbalance() >= 1.0 - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&g.internalized_fraction));
+    }
+
+    #[test]
+    fn more_groups_never_reduce_imbalance(
+        few in 4usize..16,
+        extra in 1usize..200,
+    ) {
+        // With a fixed block set, adding groups can only make the
+        // max/mean ratio worse or equal (fewer blocks per bin).
+        let sys = rotor_wake(0.03);
+        let many = few + extra;
+        prop_assume!(sys.len() >= many);
+        let g_few = group_blocks(&sys, few);
+        let g_many = group_blocks(&sys, many);
+        prop_assert!(g_many.imbalance() >= g_few.imbalance() * 0.95,
+            "few={} many={}", g_few.imbalance(), g_many.imbalance());
+    }
+}

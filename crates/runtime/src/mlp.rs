@@ -1,0 +1,96 @@
+//! Multi-Level Parallelism (MLP), Taft's NASA Ames paradigm (§3.4).
+//!
+//! MLP gets its coarse-grain parallelism by `fork`ing independent
+//! processes and its fine grain from OpenMP threads inside each. All
+//! data communication happens by *direct memory referencing* through
+//! shared-memory arenas — there is no message-passing library in the
+//! path, so a boundary exchange costs a memcpy into the arena plus a
+//! synchronization, both at shared-memory speed. That is why INS3D's
+//! per-iteration times (Table 2) are dominated by compute and load
+//! balance rather than communication.
+
+use columbia_machine::calib;
+use columbia_machine::node::NodeModel;
+
+/// Cost model for MLP group communication inside one Altix node.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpModel {
+    node: NodeModel,
+}
+
+impl MlpModel {
+    /// MLP on the given node flavour.
+    pub fn new(node: NodeModel) -> Self {
+        MlpModel { node }
+    }
+
+    /// Seconds to archive `bytes` of boundary data into the shared
+    /// arena (one memcpy at processor-bound shared-memory speed).
+    pub fn arena_write(&self, bytes: u64) -> f64 {
+        let bw = self.node.processor.clock_ghz * calib::SHM_COPY_BYTES_PER_GHZ;
+        bytes as f64 / bw
+    }
+
+    /// Seconds to read a neighbour's boundary data back out.
+    pub fn arena_read(&self, bytes: u64) -> f64 {
+        self.arena_write(bytes)
+    }
+
+    /// Synchronization of `groups` forked processes through shared
+    /// flags: a fetch-and-op tree, nanoseconds per level.
+    pub fn group_barrier(&self, groups: u32) -> f64 {
+        if groups <= 1 {
+            return 0.0;
+        }
+        // A cache-line ping per tree level; remote line transfer is a
+        // hop-latency-scale event.
+        (groups as f64).log2().ceil() * 2.0 * calib::NUMALINK_HOP_LATENCY
+    }
+
+    /// Full boundary-exchange cost for a group: write own boundary,
+    /// synchronize, read neighbours' contributions.
+    pub fn exchange(&self, groups: u32, write_bytes: u64, read_bytes: u64) -> f64 {
+        self.arena_write(write_bytes) + self.group_barrier(groups) + self.arena_read(read_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columbia_machine::node::NodeKind;
+
+    #[test]
+    fn arena_copies_run_at_memcpy_speed() {
+        let m = MlpModel::new(NodeModel::new(NodeKind::Bx2b));
+        let t = m.arena_write(1 << 30); // 1 GB
+        let bw = (1u64 << 30) as f64 / t;
+        assert!((bw - 1.6 * calib::SHM_COPY_BYTES_PER_GHZ).abs() / bw < 1e-9);
+    }
+
+    #[test]
+    fn mlp_exchange_is_cheap_relative_to_mpi_scale_messages() {
+        // 1 MB of boundary data exchanged among 36 groups costs well
+        // under a millisecond — the paper's Table 2 shows INS3D times
+        // dominated by compute, not communication.
+        let m = MlpModel::new(NodeModel::new(NodeKind::Bx2b));
+        let t = m.exchange(36, 1 << 20, 1 << 20);
+        assert!(t < 1.5e-3, "t={t}");
+    }
+
+    #[test]
+    fn barrier_scales_logarithmically() {
+        let m = MlpModel::new(NodeModel::new(NodeKind::Bx2b));
+        assert_eq!(m.group_barrier(1), 0.0);
+        let b8 = m.group_barrier(8);
+        let b64 = m.group_barrier(64);
+        assert!(b64 > b8);
+        assert!(b64 < 3.0 * b8);
+    }
+
+    #[test]
+    fn faster_clock_copies_faster() {
+        let slow = MlpModel::new(NodeModel::new(NodeKind::Altix3700));
+        let fast = MlpModel::new(NodeModel::new(NodeKind::Bx2b));
+        assert!(fast.arena_write(1 << 20) < slow.arena_write(1 << 20));
+    }
+}

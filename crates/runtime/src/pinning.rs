@@ -1,0 +1,120 @@
+//! Thread/process pinning model (§4.3).
+//!
+//! On a NUMA Altix node, memory pages land where first touched. A
+//! pinned thread keeps executing next to its pages; an unpinned thread
+//! is free to migrate, after which its loads cross the router fabric
+//! to the SHUB that owns the pages — [`columbia_machine::calib::NUMA_REMOTE_PENALTY`]
+//! times slower. The paper's Fig. 7 shows the effect on hybrid SP-MZ:
+//! pure-process runs barely notice, but runs spawning many OpenMP
+//! threads per process degrade severely without pinning, and worse the
+//! more CPUs participate.
+//!
+//! The model: each parallel region, an unpinned worker has migrated
+//! with probability [`columbia_machine::calib::UNPINNED_MIGRATION_RATE`];
+//! a migrated worker's remote-access fraction grows with how far the
+//! scheduler can scatter it, i.e. with the log of the CPU pool size.
+
+use columbia_machine::calib;
+
+/// Whether workers are pinned to CPUs.
+///
+/// The paper lists three pinning methods (`MPI_DSM_*` variables,
+/// `dplace`, explicit system calls); they are behaviourally equivalent
+/// for the model, so one boolean captures them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pinning {
+    /// Workers pinned (all paper results except the Fig. 7 "no
+    /// pinning" curves).
+    Pinned,
+    /// Workers free to migrate.
+    Unpinned,
+}
+
+impl Pinning {
+    /// Expected fraction of memory accesses served remotely for a rank
+    /// running `threads` OpenMP threads inside a pool of `pool_cpus`
+    /// candidate CPUs.
+    ///
+    /// Pinned workers always access locally. Unpinned single-thread
+    /// processes rarely migrate off their memory (the OS keeps them
+    /// near), matching Fig. 7's near-identical `64x1` curves; thread
+    /// teams fan out and suffer.
+    pub fn remote_fraction(self, threads: u32, pool_cpus: u32) -> f64 {
+        match self {
+            Pinning::Pinned => 0.0,
+            Pinning::Unpinned => {
+                if threads <= 1 {
+                    // Pure process mode: slight degradation only.
+                    0.03
+                } else {
+                    let team = (threads - 1) as f64 / threads as f64;
+                    let scatter = (pool_cpus.max(2) as f64).log2() / 10.0;
+                    (calib::UNPINNED_MIGRATION_RATE * team * (0.5 + scatter)).min(0.9)
+                }
+            }
+        }
+    }
+
+    /// Memory-time multiplier implied by the remote fraction.
+    pub fn memory_penalty(self, threads: u32, pool_cpus: u32) -> f64 {
+        1.0 + self.remote_fraction(threads, pool_cpus) * (calib::NUMA_REMOTE_PENALTY - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_is_always_local() {
+        for t in [1, 2, 8, 64] {
+            for p in [4, 64, 512] {
+                assert_eq!(Pinning::Pinned.remote_fraction(t, p), 0.0);
+                assert_eq!(Pinning::Pinned.memory_penalty(t, p), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_process_mode_barely_affected() {
+        // Fig. 7: "Pure process mode (e.g. 64x1) is less influenced by
+        // pinning."
+        let pen = Pinning::Unpinned.memory_penalty(1, 64);
+        assert!(pen < 1.1, "penalty={pen}");
+    }
+
+    #[test]
+    fn penalty_grows_with_threads() {
+        let p64 = |t| Pinning::Unpinned.memory_penalty(t, 64);
+        assert!(p64(2) > p64(1));
+        assert!(p64(8) > p64(2));
+        assert!(p64(32) > p64(8));
+    }
+
+    #[test]
+    fn penalty_grows_with_pool_size() {
+        // Fig. 7: "The impact becomes even more profound as the number
+        // of CPUs increases."
+        let p = |cpus| Pinning::Unpinned.memory_penalty(16, cpus);
+        assert!(p(128) > p(32));
+        assert!(p(512) > p(128));
+    }
+
+    #[test]
+    fn remote_fraction_bounded() {
+        for t in [2, 16, 64] {
+            for p in [16, 512, 2048] {
+                let f = Pinning::Unpinned.remote_fraction(t, p);
+                assert!((0.0..=0.9).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn substantial_hybrid_penalty_at_scale() {
+        // Unpinned 32-thread teams on 128 CPUs should be at least
+        // ~1.5x slower on memory — Fig. 7 shows multi-x gaps.
+        let pen = Pinning::Unpinned.memory_penalty(32, 128);
+        assert!(pen > 1.5, "penalty={pen}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests over placement and the compute model.
+
+use columbia_machine::cluster::{ClusterConfig, NodeId};
+use columbia_machine::node::{NodeKind, NodeModel};
+use columbia_runtime::compiler::KernelClass;
+use columbia_runtime::compute::{NodeComputeModel, WorkPhase};
+use columbia_runtime::placement::{Placement, PlacementStrategy};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn any_kind() -> impl Strategy<Value = NodeKind> {
+    prop::sample::select(vec![NodeKind::Altix3700, NodeKind::Bx2a, NodeKind::Bx2b])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn placement_never_double_books_a_cpu(
+        ranks in 1usize..100,
+        threads in 1usize..4,
+        stride in 1u32..4,
+    ) {
+        prop_assume!(ranks * threads * stride as usize <= 512);
+        let cluster = ClusterConfig::uniform(NodeKind::Bx2b, 1);
+        let strategy = if stride == 1 {
+            PlacementStrategy::Dense
+        } else {
+            PlacementStrategy::Strided(stride)
+        };
+        let p = Placement::single_node(&cluster, NodeId(0), ranks, threads, strategy);
+        let mut seen = HashSet::new();
+        for row in &p.cpus {
+            for c in row {
+                prop_assert!(seen.insert((c.node, c.cpu)), "CPU {c:?} double-booked");
+                prop_assert!(c.cpu < 512);
+            }
+        }
+        prop_assert_eq!(p.total_cpus(), ranks * threads);
+    }
+
+    #[test]
+    fn capped_placement_respects_the_cap(
+        ranks in 1usize..1000,
+        cap in 100u32..508,
+    ) {
+        let nodes_needed = (ranks as u32).div_ceil(cap).max(1);
+        let cluster = ClusterConfig::uniform(NodeKind::Bx2b, nodes_needed);
+        let nodes: Vec<NodeId> = (0..nodes_needed).map(NodeId).collect();
+        let p = Placement::new(&cluster, &nodes, ranks, 1, PlacementStrategy::DenseCapped(cap));
+        for node in &p.nodes {
+            let active = p.active_on_node(*node);
+            prop_assert!(active.len() as u32 <= cap);
+            prop_assert!(active.iter().all(|&c| c < cap));
+        }
+        prop_assert!(!p.boot_cpuset_overlap);
+    }
+
+    #[test]
+    fn phase_time_is_monotone_in_flops_and_bytes(
+        kind in any_kind(),
+        flops in 1e6f64..1e12,
+        bytes in 1e6f64..1e11,
+        threads in 1u32..32,
+    ) {
+        let model = NodeComputeModel::baseline(NodeModel::new(kind), threads);
+        let base = WorkPhase::new(flops, bytes, 64 << 20, 0.2, KernelClass::BlockSolver);
+        let mut more_flops = base;
+        more_flops.flops *= 2.0;
+        let mut more_bytes = base;
+        more_bytes.mem_bytes *= 2.0;
+        let t0 = model.seconds(&base, threads);
+        prop_assert!(t0 > 0.0);
+        prop_assert!(model.seconds(&more_flops, threads) >= t0);
+        prop_assert!(model.seconds(&more_bytes, threads) >= t0);
+    }
+
+    #[test]
+    fn more_threads_never_slower_modulo_overhead(
+        kind in any_kind(),
+        flops in 1e9f64..1e12,
+    ) {
+        // For a compute-dominated phase, doubling the team must not
+        // slow it down (fork-join overhead is microseconds).
+        let phase = WorkPhase::new(flops, 1.0, 64 << 20, 0.3, KernelClass::BlockSolver);
+        let model = NodeComputeModel::baseline(NodeModel::new(kind), 64);
+        let t1 = model.seconds(&phase, 1);
+        let t8 = model.seconds(&phase, 8);
+        prop_assert!(t8 <= t1 * 1.001, "t1={t1} t8={t8}");
+    }
+
+    #[test]
+    fn bx2b_never_loses_to_bx2a(
+        flops in 1e6f64..1e12,
+        bytes in 1e6f64..1e10,
+        ws_mb in 1u64..64,
+    ) {
+        // Same link generation, faster clock, bigger cache: the BX2b
+        // must dominate the BX2a on any single phase.
+        let phase = WorkPhase::new(flops, bytes, ws_mb << 20, 0.15, KernelClass::Multigrid);
+        let a = NodeComputeModel::baseline(NodeModel::new(NodeKind::Bx2a), 1);
+        let b = NodeComputeModel::baseline(NodeModel::new(NodeKind::Bx2b), 1);
+        prop_assert!(b.seconds(&phase, 1) <= a.seconds(&phase, 1) * 1.0001);
+    }
+}

@@ -1,0 +1,170 @@
+//! Closed-form cost models for MPI collective operations.
+//!
+//! The engine synchronizes all participants of a collective and then
+//! charges these costs. The models are the standard logarithmic-tree /
+//! bisection forms, parameterized by representative point-to-point
+//! latency and bandwidth taken from the participating CPUs' fabric
+//! view, plus the inter-node contention factor for the all-to-all
+//! (whose bisection pressure dominates FT and the OVERFLOW-D boundary
+//! exchange — see Fig. 6 and §4.1.4).
+
+use columbia_machine::cluster::CpuId;
+
+use crate::fabric::Fabric;
+
+/// Representative latency/bandwidth over a set of participants: the
+/// worst pair for latency (the straggler sets the pace) and the
+/// worst-pair bandwidth. Sampling the diameter pair keeps this O(p).
+fn representative(fabric: &dyn Fabric, cpus: &[CpuId]) -> (f64, f64) {
+    let p = cpus.len();
+    if p < 2 {
+        return (0.0, f64::INFINITY);
+    }
+    // The farthest pair among (first, last) and (first, middle) is a
+    // good stand-in for the diameter on our hierarchical topologies.
+    let probes = [(0, p - 1), (0, p / 2), (p / 2, p - 1)];
+    let mut lat: f64 = 0.0;
+    let mut bw = f64::INFINITY;
+    for (i, j) in probes {
+        if i == j {
+            continue;
+        }
+        lat = lat.max(fabric.latency(cpus[i], cpus[j]));
+        bw = bw.min(fabric.bandwidth(cpus[i], cpus[j]));
+    }
+    (lat, bw)
+}
+
+/// Barrier: a dissemination barrier costs `ceil(log2 p)` rounds of the
+/// representative latency.
+pub fn barrier(fabric: &dyn Fabric, cpus: &[CpuId]) -> f64 {
+    let p = cpus.len() as f64;
+    if p < 2.0 {
+        return 0.0;
+    }
+    let (lat, _) = representative(fabric, cpus);
+    lat * p.log2().ceil()
+}
+
+/// Allreduce of `bytes` per rank: recursive doubling — `log2 p` rounds,
+/// each moving the full payload.
+pub fn allreduce(fabric: &dyn Fabric, cpus: &[CpuId], bytes: u64) -> f64 {
+    let p = cpus.len() as f64;
+    if p < 2.0 {
+        return 0.0;
+    }
+    let (lat, bw) = representative(fabric, cpus);
+    let rounds = p.log2().ceil();
+    rounds * (lat + bytes as f64 / bw)
+}
+
+/// Broadcast of `bytes` from one root: binomial tree.
+pub fn bcast(fabric: &dyn Fabric, cpus: &[CpuId], bytes: u64) -> f64 {
+    let p = cpus.len() as f64;
+    if p < 2.0 {
+        return 0.0;
+    }
+    let (lat, bw) = representative(fabric, cpus);
+    p.log2().ceil() * (lat + bytes as f64 / bw)
+}
+
+/// All-to-all with `bytes_per_pair` between every ordered pair: each
+/// rank serializes `(p-1) * bytes` through its injection port, and
+/// cross-node flows additionally suffer the fabric's contention factor.
+///
+/// This is the pattern that made FT "about twice as fast on BX2 than on
+/// 3700" at 256 CPUs (Fig. 6) — the cost is bandwidth-dominated.
+pub fn alltoall(fabric: &dyn Fabric, cpus: &[CpuId], bytes_per_pair: u64) -> f64 {
+    let p = cpus.len();
+    if p < 2 {
+        return 0.0;
+    }
+    let (lat, _) = representative(fabric, cpus);
+    let volume = (p - 1) as f64 * bytes_per_pair as f64;
+    let bw = fabric.alltoall_bandwidth(cpus);
+    // Latency term: p-1 message setups amortized by pipelining into
+    // log2(p) effective rounds.
+    lat * (p as f64).log2().ceil() + volume / bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{ClusterFabric, MptVersion};
+    use columbia_machine::cluster::{ClusterConfig, InterNodeFabric};
+    use columbia_machine::node::NodeKind;
+
+    fn cpus_on_one_node(n: u32) -> Vec<CpuId> {
+        (0..n).map(|c| CpuId::new(0, c)).collect()
+    }
+
+    fn fabric_one_node() -> ClusterFabric {
+        ClusterFabric::single_node(ClusterConfig::uniform(NodeKind::Bx2b, 1))
+    }
+
+    #[test]
+    fn trivial_communicators_cost_nothing() {
+        let f = fabric_one_node();
+        let one = cpus_on_one_node(1);
+        assert_eq!(barrier(&f, &one), 0.0);
+        assert_eq!(allreduce(&f, &one, 1024), 0.0);
+        assert_eq!(alltoall(&f, &one, 1024), 0.0);
+        assert_eq!(bcast(&f, &one, 1024), 0.0);
+    }
+
+    #[test]
+    fn barrier_scales_logarithmically() {
+        let f = fabric_one_node();
+        let t64 = barrier(&f, &cpus_on_one_node(64));
+        let t128 = barrier(&f, &cpus_on_one_node(128));
+        assert!(t128 > t64);
+        // Doubling the ranks adds roughly one round, not a doubling.
+        assert!(t128 < 1.6 * t64);
+    }
+
+    #[test]
+    fn alltoall_grows_superlinearly_with_ranks() {
+        let f = fabric_one_node();
+        let t32 = alltoall(&f, &cpus_on_one_node(32), 4096);
+        let t64 = alltoall(&f, &cpus_on_one_node(64), 4096);
+        // Per-rank volume doubles when ranks double.
+        assert!(t64 > 1.8 * t32, "t32={t32} t64={t64}");
+    }
+
+    #[test]
+    fn allreduce_larger_payload_costs_more() {
+        let f = fabric_one_node();
+        let cpus = cpus_on_one_node(16);
+        assert!(allreduce(&f, &cpus, 1 << 20) > allreduce(&f, &cpus, 1 << 10));
+    }
+
+    #[test]
+    fn cross_node_alltoall_worse_on_infiniband() {
+        let cfg = ClusterConfig::uniform(NodeKind::Bx2b, 2);
+        let mut cpus = Vec::new();
+        for node in 0..2 {
+            for c in 0..64 {
+                cpus.push(CpuId::new(node, c));
+            }
+        }
+        let nl = ClusterFabric::new(cfg.clone(), InterNodeFabric::NumaLink4, MptVersion::Beta, 128);
+        let ib = ClusterFabric::new(cfg, InterNodeFabric::InfiniBand, MptVersion::Beta, 128);
+        let t_nl = alltoall(&nl, &cpus, 8192);
+        let t_ib = alltoall(&ib, &cpus, 8192);
+        assert!(t_ib > t_nl, "ib={t_ib} nl={t_nl}");
+    }
+
+    #[test]
+    fn released_mpt_slows_ib_collectives() {
+        let cfg = ClusterConfig::uniform(NodeKind::Bx2b, 2);
+        let mut cpus = Vec::new();
+        for node in 0..2 {
+            for c in 0..128 {
+                cpus.push(CpuId::new(node, c));
+            }
+        }
+        let beta = ClusterFabric::new(cfg.clone(), InterNodeFabric::InfiniBand, MptVersion::Beta, 256);
+        let rel = ClusterFabric::new(cfg, InterNodeFabric::InfiniBand, MptVersion::Released, 256);
+        assert!(alltoall(&rel, &cpus, 8192) > alltoall(&beta, &cpus, 8192));
+    }
+}

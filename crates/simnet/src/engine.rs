@@ -1,0 +1,475 @@
+//! Deterministic discrete-event execution of per-rank programs.
+//!
+//! Each virtual MPI rank runs a straight-line program of [`Op`]s. The
+//! engine advances per-rank clocks with eager message matching: a send
+//! deposits a message whose arrival time is the sender's clock plus the
+//! fabric's point-to-point cost; a receive completes at
+//! `max(receiver clock, arrival)`. Collectives synchronize all ranks
+//! and charge the closed-form costs from [`crate::collectives`].
+//!
+//! The scheduler is a worklist over blocked ranks, so arbitrary
+//! (deadlock-free) send/recv orders simulate correctly — including the
+//! pipelined LU-SGS wavefronts and ring exchanges the workloads emit.
+//! A genuine deadlock (cycle of receives with no matching sends) is
+//! reported as an error naming the stuck ranks, which the test suite
+//! exercises.
+
+use std::collections::{HashMap, VecDeque};
+
+use columbia_machine::cluster::CpuId;
+
+use crate::collectives;
+use crate::fabric::Fabric;
+
+/// Per-CPU cost of initiating a send (library call + injection), well
+/// under the wire latency; folded out of `Fabric::latency` so overlap
+/// of computation with in-flight messages is modelled.
+const SEND_CPU_OVERHEAD: f64 = 0.2e-6;
+
+/// One instruction of a virtual rank's program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Busy compute for the given number of seconds (already costed by
+    /// the machine model upstream).
+    Compute(f64),
+    /// Eager, non-blocking send of `bytes` to rank `to` with a match
+    /// `tag`.
+    Send { to: usize, bytes: u64, tag: u64 },
+    /// Blocking receive from rank `from` with matching `tag`.
+    Recv { from: usize, tag: u64 },
+    /// Simultaneous pairwise exchange with rank `with` (send + recv of
+    /// equal `bytes`), the staple of halo swaps.
+    Exchange { with: usize, bytes: u64, tag: u64 },
+    /// Barrier over the whole communicator.
+    Barrier,
+    /// Allreduce contributing `bytes` per rank.
+    AllReduce { bytes: u64 },
+    /// All-to-all moving `bytes_per_pair` between every ordered pair.
+    AllToAll { bytes_per_pair: u64 },
+    /// Broadcast of `bytes` from rank `root`.
+    Bcast { root: usize, bytes: u64 },
+}
+
+/// Timeline of one rank after simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RankResult {
+    /// Final clock value: when the rank finished its program.
+    pub total: f64,
+    /// Seconds spent in [`Op::Compute`].
+    pub compute: f64,
+    /// Seconds spent sending, waiting, and inside collectives.
+    pub comm: f64,
+}
+
+/// Result of simulating a whole program set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Per-rank timelines.
+    pub ranks: Vec<RankResult>,
+    /// Completion time of the slowest rank — the measured wall clock.
+    pub makespan: f64,
+}
+
+impl SimOutcome {
+    /// Mean communication time across ranks (what the application
+    /// tables report as "comm").
+    pub fn mean_comm(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().map(|r| r.comm).sum::<f64>() / self.ranks.len() as f64
+    }
+
+    /// Maximum communication time across ranks.
+    pub fn max_comm(&self) -> f64 {
+        self.ranks.iter().map(|r| r.comm).fold(0.0, f64::max)
+    }
+}
+
+/// Simulation error: a communication cycle that can never complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deadlock {
+    /// Ranks whose next operation can never be satisfied.
+    pub stuck_ranks: Vec<usize>,
+}
+
+impl std::fmt::Display for Deadlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulated communication deadlock; stuck ranks: {:?}", self.stuck_ranks)
+    }
+}
+
+impl std::error::Error for Deadlock {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MsgKey {
+    from: usize,
+    to: usize,
+    tag: u64,
+}
+
+struct RankState {
+    pc: usize,
+    clock: f64,
+    compute: f64,
+    comm: f64,
+    /// Sequence number of the next collective this rank will join.
+    coll_seq: usize,
+}
+
+/// Simulate `programs` (one per rank) placed on `cpus` over `fabric`.
+///
+/// `cpus[r]` is the physical CPU of rank `r`; programs and placement
+/// must have equal length. Returns per-rank timelines or a
+/// [`Deadlock`] diagnosis.
+pub fn simulate(
+    programs: &[Vec<Op>],
+    cpus: &[CpuId],
+    fabric: &dyn Fabric,
+) -> Result<SimOutcome, Deadlock> {
+    assert_eq!(
+        programs.len(),
+        cpus.len(),
+        "one CPU placement per rank program"
+    );
+    let n = programs.len();
+    let mut states: Vec<RankState> = (0..n)
+        .map(|_| RankState {
+            pc: 0,
+            clock: 0.0,
+            compute: 0.0,
+            comm: 0.0,
+            coll_seq: 0,
+        })
+        .collect();
+    // In-flight messages: arrival times keyed by (from, to, tag); FIFO
+    // per key preserves MPI ordering semantics.
+    let mut mailbox: HashMap<MsgKey, VecDeque<f64>> = HashMap::new();
+    // Collective rendezvous: seq -> (op fingerprint, ranks arrived).
+    let mut coll_arrivals: HashMap<usize, Vec<usize>> = HashMap::new();
+
+    let mut runnable: VecDeque<usize> = (0..n).collect();
+    let mut in_queue = vec![true; n];
+
+    // Each pop executes at least one op or blocks; total ops bound the
+    // work, so this terminates.
+    while let Some(r) = runnable.pop_front() {
+        in_queue[r] = false;
+        loop {
+            let Some(op) = programs[r].get(states[r].pc) else {
+                break;
+            };
+            match op {
+                Op::Compute(secs) => {
+                    states[r].clock += secs;
+                    states[r].compute += secs;
+                    states[r].pc += 1;
+                }
+                Op::Send { to, bytes, tag } => {
+                    let cost = fabric.pt2pt_time(cpus[r], cpus[*to], *bytes);
+                    let arrival = states[r].clock + cost;
+                    mailbox
+                        .entry(MsgKey {
+                            from: r,
+                            to: *to,
+                            tag: *tag,
+                        })
+                        .or_default()
+                        .push_back(arrival);
+                    states[r].clock += SEND_CPU_OVERHEAD;
+                    states[r].comm += SEND_CPU_OVERHEAD;
+                    states[r].pc += 1;
+                    // The receiver may now be unblocked.
+                    if !in_queue[*to] {
+                        runnable.push_back(*to);
+                        in_queue[*to] = true;
+                    }
+                }
+                Op::Recv { from, tag } => {
+                    let key = MsgKey {
+                        from: *from,
+                        to: r,
+                        tag: *tag,
+                    };
+                    match mailbox.get_mut(&key).and_then(|q| q.pop_front()) {
+                        Some(arrival) => {
+                            let done = states[r].clock.max(arrival);
+                            states[r].comm += done - states[r].clock;
+                            states[r].clock = done;
+                            states[r].pc += 1;
+                        }
+                        None => break, // blocked: wait for the send
+                    }
+                }
+                Op::Exchange { with, bytes, tag } => {
+                    // Decompose into send + recv so the partner's
+                    // schedule is honoured. A marker message-to-self
+                    // records that our send half already went out, so a
+                    // blocked exchange does not double-send on wake-up.
+                    let (b, t, w) = (*bytes, *tag, *with);
+                    let marker = MsgKey {
+                        from: r,
+                        to: r,
+                        tag: half_exchange_tag(w, t),
+                    };
+                    let already_sent = mailbox
+                        .get_mut(&marker)
+                        .map(|q| q.pop_front().is_some())
+                        .unwrap_or(false);
+                    if !already_sent {
+                        let cost = fabric.pt2pt_time(cpus[r], cpus[w], b);
+                        mailbox
+                            .entry(MsgKey {
+                                from: r,
+                                to: w,
+                                tag: t,
+                            })
+                            .or_default()
+                            .push_back(states[r].clock + cost);
+                        states[r].clock += SEND_CPU_OVERHEAD;
+                        states[r].comm += SEND_CPU_OVERHEAD;
+                        if !in_queue[w] {
+                            runnable.push_back(w);
+                            in_queue[w] = true;
+                        }
+                    }
+                    // Wait for the partner's half.
+                    let key = MsgKey {
+                        from: w,
+                        to: r,
+                        tag: t,
+                    };
+                    match mailbox.get_mut(&key).and_then(|q| q.pop_front()) {
+                        Some(arrival) => {
+                            let done = states[r].clock.max(arrival);
+                            states[r].comm += done - states[r].clock;
+                            states[r].clock = done;
+                            states[r].pc += 1;
+                        }
+                        None => {
+                            mailbox.entry(marker).or_default().push_back(0.0);
+                            break;
+                        }
+                    }
+                }
+                Op::Barrier | Op::AllReduce { .. } | Op::AllToAll { .. } | Op::Bcast { .. } => {
+                    let seq = states[r].coll_seq;
+                    let arrived = coll_arrivals.entry(seq).or_default();
+                    if !arrived.contains(&r) {
+                        arrived.push(r);
+                    }
+                    if arrived.len() == n {
+                        // Everyone is here: charge the collective.
+                        let start = states.iter().map(|s| s.clock).fold(0.0, f64::max);
+                        let cost = match op {
+                            Op::Barrier => collectives::barrier(fabric, cpus),
+                            Op::AllReduce { bytes } => collectives::allreduce(fabric, cpus, *bytes),
+                            Op::AllToAll { bytes_per_pair } => {
+                                collectives::alltoall(fabric, cpus, *bytes_per_pair)
+                            }
+                            Op::Bcast { root: _, bytes } => collectives::bcast(fabric, cpus, *bytes),
+                            _ => unreachable!(),
+                        };
+                        let end = start + cost;
+                        coll_arrivals.remove(&seq);
+                        for (i, s) in states.iter_mut().enumerate() {
+                            s.comm += end - s.clock;
+                            s.clock = end;
+                            s.coll_seq += 1;
+                            s.pc += 1;
+                            if i != r && !in_queue[i] {
+                                runnable.push_back(i);
+                                in_queue[i] = true;
+                            }
+                        }
+                        // Our own pc/coll_seq were advanced in the loop.
+                        continue;
+                    } else {
+                        break; // blocked at the collective
+                    }
+                }
+            }
+        }
+    }
+
+    if states.iter().enumerate().any(|(r, s)| s.pc < programs[r].len()) {
+        let stuck: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(r, s)| s.pc < programs[*r].len())
+            .map(|(r, _)| r)
+            .collect();
+        return Err(Deadlock { stuck_ranks: stuck });
+    }
+
+    let ranks: Vec<RankResult> = states
+        .iter()
+        .map(|s| RankResult {
+            total: s.clock,
+            compute: s.compute,
+            comm: s.comm,
+        })
+        .collect();
+    let makespan = ranks.iter().map(|r| r.total).fold(0.0, f64::max);
+    Ok(SimOutcome { ranks, makespan })
+}
+
+/// Tag used by the marker message-to-self that records a half-done
+/// exchange (send half out, recv half still blocked).
+fn half_exchange_tag(with: usize, tag: u64) -> u64 {
+    (tag ^ ((with as u64) << 32)) | HALF_EXCHANGE_BIT
+}
+
+const HALF_EXCHANGE_BIT: u64 = 1 << 63;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::ClusterFabric;
+    use columbia_machine::cluster::ClusterConfig;
+    use columbia_machine::node::NodeKind;
+
+    fn fabric() -> ClusterFabric {
+        ClusterFabric::single_node(ClusterConfig::uniform(NodeKind::Bx2b, 1))
+    }
+
+    fn place(n: u32) -> Vec<CpuId> {
+        (0..n).map(|c| CpuId::new(0, c)).collect()
+    }
+
+    #[test]
+    fn pure_compute_runs_independently() {
+        let progs = vec![vec![Op::Compute(1.0)], vec![Op::Compute(2.0)]];
+        let out = simulate(&progs, &place(2), &fabric()).unwrap();
+        assert!((out.ranks[0].total - 1.0).abs() < 1e-12);
+        assert!((out.ranks[1].total - 2.0).abs() < 1e-12);
+        assert!((out.makespan - 2.0).abs() < 1e-12);
+        assert_eq!(out.ranks[0].comm, 0.0);
+    }
+
+    #[test]
+    fn recv_waits_for_matching_send() {
+        let progs = vec![
+            vec![Op::Compute(1.0), Op::Send { to: 1, bytes: 0, tag: 7 }],
+            vec![Op::Recv { from: 0, tag: 7 }],
+        ];
+        let out = simulate(&progs, &place(2), &fabric()).unwrap();
+        // Rank 1 must wait ≥ 1 second for the send to be issued.
+        assert!(out.ranks[1].total >= 1.0);
+        assert!(out.ranks[1].comm >= 1.0);
+    }
+
+    #[test]
+    fn send_before_recv_also_matches() {
+        let progs = vec![
+            vec![Op::Send { to: 1, bytes: 1024, tag: 1 }],
+            vec![Op::Compute(0.5), Op::Recv { from: 0, tag: 1 }],
+        ];
+        let out = simulate(&progs, &place(2), &fabric()).unwrap();
+        // Message long since arrived; receiver barely waits.
+        assert!(out.ranks[1].total < 0.5 + 1e-3);
+    }
+
+    #[test]
+    fn messages_with_same_tag_preserve_order() {
+        let progs = vec![
+            vec![
+                Op::Send { to: 1, bytes: 1 << 20, tag: 0 },
+                Op::Send { to: 1, bytes: 0, tag: 0 },
+            ],
+            vec![Op::Recv { from: 0, tag: 0 }, Op::Recv { from: 0, tag: 0 }],
+        ];
+        let out = simulate(&progs, &place(2), &fabric()).unwrap();
+        assert!(out.makespan > 0.0);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let progs = vec![
+            vec![Op::Compute(0.1), Op::Barrier],
+            vec![Op::Compute(2.0), Op::Barrier],
+            vec![Op::Barrier],
+        ];
+        let out = simulate(&progs, &place(3), &fabric()).unwrap();
+        for r in &out.ranks {
+            assert!(r.total >= 2.0);
+        }
+        // Fast ranks accrue the wait as comm time.
+        assert!(out.ranks[2].comm > 1.9);
+        assert!(out.ranks[1].comm < 0.1);
+    }
+
+    #[test]
+    fn ring_exchange_completes() {
+        // Natural ring: everyone exchanges with both neighbours, in the
+        // classic parity order (even ranks talk right first, odd ranks
+        // left first) so matching exchanges are posted simultaneously.
+        let n = 8usize;
+        let mut progs = Vec::new();
+        for r in 0..n {
+            let right = (r + 1) % n;
+            let left = (r + n - 1) % n;
+            let tag = |a: usize, b: usize| 100 + a.min(b) as u64 * 7 + a.max(b) as u64;
+            let ex_right = Op::Exchange { with: right, bytes: 4096, tag: tag(r, right) };
+            let ex_left = Op::Exchange { with: left, bytes: 4096, tag: tag(r, left) };
+            progs.push(if r % 2 == 0 {
+                vec![ex_right, ex_left]
+            } else {
+                vec![ex_left, ex_right]
+            });
+        }
+        let out = simulate(&progs, &place(n as u32), &fabric()).unwrap();
+        assert!(out.makespan > 0.0);
+        assert!(out.ranks.iter().all(|r| r.comm > 0.0));
+    }
+
+    #[test]
+    fn alltoall_costs_more_with_more_bytes() {
+        let mk = |bytes| {
+            let progs: Vec<Vec<Op>> = (0..16).map(|_| vec![Op::AllToAll { bytes_per_pair: bytes }]).collect();
+            simulate(&progs, &place(16), &fabric()).unwrap().makespan
+        };
+        assert!(mk(1 << 16) > mk(1 << 8));
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_named() {
+        // Two ranks each waiting for a message never sent.
+        let progs = vec![
+            vec![Op::Recv { from: 1, tag: 0 }],
+            vec![Op::Recv { from: 0, tag: 0 }],
+        ];
+        let err = simulate(&progs, &place(2), &fabric()).unwrap_err();
+        assert_eq!(err.stuck_ranks, vec![0, 1]);
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn pipeline_wavefront_serializes() {
+        // Rank r waits for r-1, computes, then releases r+1 — a LU-SGS
+        // style pipeline. Makespan ≈ sum of stages, not max.
+        let n = 4usize;
+        let stage = 0.25;
+        let mut progs = Vec::new();
+        for r in 0..n {
+            let mut p = Vec::new();
+            if r > 0 {
+                p.push(Op::Recv { from: r - 1, tag: 42 });
+            }
+            p.push(Op::Compute(stage));
+            if r + 1 < n {
+                p.push(Op::Send { to: r + 1, bytes: 8192, tag: 42 });
+            }
+            progs.push(p);
+        }
+        let out = simulate(&progs, &place(n as u32), &fabric()).unwrap();
+        assert!(out.makespan >= n as f64 * stage);
+        assert!(out.makespan < n as f64 * stage + 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "one CPU placement per rank")]
+    fn mismatched_placement_panics() {
+        let _ = simulate(&[vec![Op::Compute(1.0)]], &place(2), &fabric());
+    }
+}

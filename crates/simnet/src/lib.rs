@@ -1,0 +1,31 @@
+//! Discrete-event simulation of Columbia's communication fabrics.
+//!
+//! The paper times message-passing codes whose behaviour is set by the
+//! interplay of per-message latency, per-stream bandwidth, topology
+//! distance, and contention — across three fabrics: NUMAlink3 inside a
+//! 3700 node, NUMAlink4 inside (and between) BX2 nodes, and the
+//! InfiniBand switch between any nodes. This crate provides:
+//!
+//! * [`fabric`] — cost models answering "what does one `bytes`-byte
+//!   message from CPU *a* to CPU *b* cost" for each fabric, composed
+//!   into a whole-cluster view by [`fabric::ClusterFabric`];
+//! * [`engine`] — a deterministic discrete-event simulator that runs
+//!   per-rank programs of [`engine::Op`]s (compute, send, recv,
+//!   exchange, collectives) to a per-rank timeline with compute/comm
+//!   attribution;
+//! * [`collectives`] — closed-form cost models for barrier, allreduce,
+//!   broadcast, and all-to-all, shared by the engine;
+//! * [`patterns`] — the HPCC `b_eff` communication patterns (ping-pong,
+//!   natural ring, random ring) including the statistical contention
+//!   model for bisection-crossing flows.
+//!
+//! All randomness is seeded; a simulation is a pure function of its
+//! inputs.
+
+pub mod collectives;
+pub mod engine;
+pub mod fabric;
+pub mod patterns;
+
+pub use engine::{simulate, Op, RankResult, SimOutcome};
+pub use fabric::{ClusterFabric, Fabric, MptVersion};

@@ -1,0 +1,81 @@
+//! Failure injection: malformed communication programs must be
+//! diagnosed, not silently mis-simulated.
+
+use columbia_machine::cluster::{ClusterConfig, CpuId};
+use columbia_machine::node::NodeKind;
+use columbia_simnet::fabric::ClusterFabric;
+use columbia_simnet::{simulate, Op};
+
+fn fabric() -> ClusterFabric {
+    ClusterFabric::single_node(ClusterConfig::uniform(NodeKind::Bx2b, 1))
+}
+
+fn place(n: usize) -> Vec<CpuId> {
+    (0..n as u32).map(|c| CpuId::new(0, c)).collect()
+}
+
+#[test]
+fn mismatched_tag_deadlocks_with_diagnosis() {
+    let progs = vec![
+        vec![Op::Send { to: 1, bytes: 64, tag: 1 }],
+        vec![Op::Recv { from: 0, tag: 2 }], // wrong tag
+    ];
+    let err = simulate(&progs, &place(2), &fabric()).unwrap_err();
+    assert_eq!(err.stuck_ranks, vec![1]);
+}
+
+#[test]
+fn wrong_source_deadlocks() {
+    let progs = vec![
+        vec![Op::Send { to: 2, bytes: 64, tag: 0 }],
+        vec![],
+        vec![Op::Recv { from: 1, tag: 0 }], // message came from 0, not 1
+    ];
+    let err = simulate(&progs, &place(3), &fabric()).unwrap_err();
+    assert_eq!(err.stuck_ranks, vec![2]);
+}
+
+#[test]
+fn missing_collective_participant_deadlocks_everyone_at_the_barrier() {
+    let progs = vec![
+        vec![Op::Barrier],
+        vec![Op::Barrier],
+        vec![Op::Recv { from: 0, tag: 9 }], // never reaches the barrier
+    ];
+    let err = simulate(&progs, &place(3), &fabric()).unwrap_err();
+    assert!(err.stuck_ranks.contains(&2));
+    assert!(err.stuck_ranks.len() == 3, "{:?}", err.stuck_ranks);
+}
+
+#[test]
+fn three_cycle_of_receives_is_detected() {
+    let progs = vec![
+        vec![Op::Recv { from: 2, tag: 0 }, Op::Send { to: 1, bytes: 8, tag: 0 }],
+        vec![Op::Recv { from: 0, tag: 0 }, Op::Send { to: 2, bytes: 8, tag: 0 }],
+        vec![Op::Recv { from: 1, tag: 0 }, Op::Send { to: 0, bytes: 8, tag: 0 }],
+    ];
+    let err = simulate(&progs, &place(3), &fabric()).unwrap_err();
+    assert_eq!(err.stuck_ranks, vec![0, 1, 2]);
+}
+
+#[test]
+fn extra_unconsumed_messages_are_harmless() {
+    // Eager sends with no matching receive complete locally — the run
+    // finishes and the receiver simply never reads them.
+    let progs = vec![
+        vec![Op::Send { to: 1, bytes: 1 << 20, tag: 5 }, Op::Compute(0.1)],
+        vec![Op::Compute(0.2)],
+    ];
+    let out = simulate(&progs, &place(2), &fabric()).unwrap();
+    assert!((out.makespan - 0.2).abs() < 1e-6);
+}
+
+#[test]
+fn self_messages_round_trip() {
+    let progs = vec![vec![
+        Op::Send { to: 0, bytes: 4096, tag: 3 },
+        Op::Recv { from: 0, tag: 3 },
+    ]];
+    let out = simulate(&progs, &place(1), &fabric()).unwrap();
+    assert!(out.makespan > 0.0);
+}

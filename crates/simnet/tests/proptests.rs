@@ -1,0 +1,106 @@
+//! Property-based tests over the discrete-event engine and fabrics.
+
+use columbia_machine::cluster::{ClusterConfig, CpuId};
+use columbia_machine::node::NodeKind;
+use columbia_simnet::fabric::{ClusterFabric, Fabric};
+use columbia_simnet::{simulate, Op};
+use proptest::prelude::*;
+
+fn fabric() -> ClusterFabric {
+    ClusterFabric::single_node(ClusterConfig::uniform(NodeKind::Bx2b, 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compute_only_programs_never_deadlock_and_sum_exactly(
+        times in prop::collection::vec(
+            prop::collection::vec(1e-6f64..1e-2, 1..6),
+            1..12,
+        ),
+    ) {
+        let programs: Vec<Vec<Op>> = times
+            .iter()
+            .map(|ts| ts.iter().map(|&t| Op::Compute(t)).collect())
+            .collect();
+        let cpus: Vec<CpuId> = (0..programs.len() as u32).map(|c| CpuId::new(0, c)).collect();
+        let out = simulate(&programs, &cpus, &fabric()).unwrap();
+        for (r, ts) in out.ranks.iter().zip(&times) {
+            let want: f64 = ts.iter().sum();
+            prop_assert!((r.total - want).abs() < 1e-12);
+            prop_assert_eq!(r.comm, 0.0);
+        }
+    }
+
+    #[test]
+    fn matched_send_recv_pairs_always_complete(
+        n in 2usize..16,
+        bytes in 1u64..1_000_000,
+        compute in 1e-6f64..1e-3,
+    ) {
+        // Every rank sends to the next and receives from the previous
+        // (posted sends-first, so any order completes).
+        let programs: Vec<Vec<Op>> = (0..n)
+            .map(|r| {
+                vec![
+                    Op::Compute(compute * (1.0 + r as f64)),
+                    Op::Send { to: (r + 1) % n, bytes, tag: 1 },
+                    Op::Recv { from: (r + n - 1) % n, tag: 1 },
+                ]
+            })
+            .collect();
+        let cpus: Vec<CpuId> = (0..n as u32).map(|c| CpuId::new(0, c)).collect();
+        let out = simulate(&programs, &cpus, &fabric()).unwrap();
+        prop_assert!(out.makespan >= compute * n as f64); // slowest compute
+        for r in &out.ranks {
+            prop_assert!(r.comm >= 0.0);
+            prop_assert!(r.total >= r.compute);
+        }
+    }
+
+    #[test]
+    fn barriers_always_align_clocks(
+        times in prop::collection::vec(1e-6f64..1e-2, 2..20),
+    ) {
+        let programs: Vec<Vec<Op>> = times
+            .iter()
+            .map(|&t| vec![Op::Compute(t), Op::Barrier])
+            .collect();
+        let cpus: Vec<CpuId> = (0..programs.len() as u32).map(|c| CpuId::new(0, c)).collect();
+        let out = simulate(&programs, &cpus, &fabric()).unwrap();
+        let t0 = out.ranks[0].total;
+        for r in &out.ranks {
+            prop_assert!((r.total - t0).abs() < 1e-15);
+        }
+        let max_compute = times.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(t0 >= max_compute);
+    }
+
+    #[test]
+    fn fabric_costs_are_positive_and_monotone_in_size(
+        a in 0u32..512,
+        b in 0u32..512,
+        small in 1u64..10_000,
+        extra in 1u64..10_000_000,
+    ) {
+        let f = fabric();
+        let (ca, cb) = (CpuId::new(0, a), CpuId::new(0, b));
+        if a != b {
+            let lat = f.latency(ca, cb);
+            prop_assert!(lat > 0.0);
+            let t_small = f.pt2pt_time(ca, cb, small);
+            let t_big = f.pt2pt_time(ca, cb, small + extra);
+            prop_assert!(t_big > t_small);
+        }
+    }
+
+    #[test]
+    fn latency_is_symmetric(a in 0u32..512, b in 0u32..512) {
+        let f = fabric();
+        let (ca, cb) = (CpuId::new(0, a), CpuId::new(0, b));
+        let ab = f.latency(ca, cb);
+        let ba = f.latency(cb, ca);
+        prop_assert!((ab - ba).abs() < 1e-15);
+    }
+}

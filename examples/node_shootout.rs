@@ -1,0 +1,57 @@
+//! 3700 vs BX2a vs BX2b: the paper's central comparison, condensed —
+//! NPB per-CPU rates (Fig. 6) plus the compiler study (Fig. 8).
+//!
+//! Run with: `cargo run --release --example node_shootout`
+
+use columbia::experiments::{run, Experiment};
+use columbia::machine::node::NodeKind;
+use columbia::npb::{gflops_per_cpu, NpbBenchmark, NpbClass, Paradigm};
+use columbia::runtime::compiler::CompilerVersion;
+
+fn main() {
+    // The headline anomalies, stated directly.
+    let ft3700 = gflops_per_cpu(
+        NpbBenchmark::Ft,
+        NpbClass::B,
+        NodeKind::Altix3700,
+        Paradigm::Mpi,
+        256,
+        CompilerVersion::V7_1,
+    );
+    let ftbx2 = gflops_per_cpu(
+        NpbBenchmark::Ft,
+        NpbClass::B,
+        NodeKind::Bx2a,
+        Paradigm::Mpi,
+        256,
+        CompilerVersion::V7_1,
+    );
+    println!(
+        "FT (MPI, 256 CPUs): BX2 is {:.2}x the 3700 (paper: 'about twice as fast')",
+        ftbx2 / ft3700
+    );
+
+    let mg_a = gflops_per_cpu(
+        NpbBenchmark::Mg,
+        NpbClass::B,
+        NodeKind::Bx2a,
+        Paradigm::Mpi,
+        64,
+        CompilerVersion::V7_1,
+    );
+    let mg_b = gflops_per_cpu(
+        NpbBenchmark::Mg,
+        NpbClass::B,
+        NodeKind::Bx2b,
+        Paradigm::Mpi,
+        64,
+        CompilerVersion::V7_1,
+    );
+    println!(
+        "MG (MPI, 64 CPUs): BX2b is {:.2}x the BX2a (paper: ~50% jump from the 9 MB L3)",
+        mg_b / mg_a
+    );
+
+    println!("\n{}", run(Experiment::Fig6).to_text());
+    println!("{}", run(Experiment::Fig8).to_text());
+}

@@ -1,0 +1,42 @@
+//! Cross-crate integration: real benchmark runs verifying end to end.
+
+use columbia::npb::{bt, cg, ft, mg, NpbClass};
+use columbia::npbmz::bench::{run_real as mz_real, MzBenchmark};
+use columbia::md::MdSystem;
+
+#[test]
+fn all_npb_class_s_real_runs_verify() {
+    assert!(mg::run_real(NpbClass::S).verified());
+    assert!(cg::run_real(NpbClass::S).verified());
+    assert!(ft::run_real(NpbClass::S).verified());
+    assert!(bt::run_real(NpbClass::S).verified());
+}
+
+#[test]
+fn multizone_class_s_real_runs_verify() {
+    assert!(mz_real(MzBenchmark::BtMz).verified());
+    assert!(mz_real(MzBenchmark::SpMz).verified());
+}
+
+#[test]
+fn md_conserves_energy_and_momentum_end_to_end() {
+    let mut sys = MdSystem::fcc(5, 0.8, 0.4, 99);
+    let pot0 = sys.compute_forces_cells();
+    let e0 = pot0 + sys.kinetic_energy();
+    let mut e = e0;
+    for _ in 0..30 {
+        let pot = sys.step(0.002);
+        e = pot + sys.kinetic_energy();
+    }
+    assert!(((e - e0) / e0).abs() < 1e-2);
+    for p in sys.momentum() {
+        assert!(p.abs() < 1e-6);
+    }
+}
+
+#[test]
+fn npb_verification_values_are_stable_across_runs() {
+    let a = cg::run_real(NpbClass::S);
+    let b = cg::run_real(NpbClass::S);
+    assert_eq!(a.zeta, b.zeta, "deterministic seeding");
+}

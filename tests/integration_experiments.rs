@@ -1,0 +1,50 @@
+//! Every experiment runner produces a well-formed report.
+
+use columbia::experiments::{run, Experiment};
+
+#[test]
+fn quick_experiments_render() {
+    // The fast subset — the heavyweight sweeps are exercised by the
+    // `repro` binary and the benches.
+    for exp in [
+        Experiment::Table1,
+        Experiment::DgemmStream,
+        Experiment::Stride,
+        Experiment::Fig5,
+        Experiment::Fig10,
+    ] {
+        let r = run(exp);
+        assert!(!r.rows.is_empty(), "{exp:?} produced no rows");
+        let text = r.to_text();
+        assert!(text.contains("=="), "{exp:?} header missing");
+        let json = r.to_json();
+        assert!(json.contains(&r.id), "{exp:?} JSON missing id");
+    }
+}
+
+#[test]
+fn table2_shape_matches_paper() {
+    let r = run(Experiment::Table2);
+    // Parse the BX2b column: baseline row then thread rows.
+    let parse = |s: &str| -> f64 { s.split_whitespace().next().unwrap().parse().unwrap() };
+    let t1 = parse(&r.rows[1][2]); // 36x1
+    let t14 = parse(&r.rows[6][2]); // 36x14
+    let speedup = t1 / t14;
+    assert!((2.5..4.2).contains(&speedup), "paper: 3.33; got {speedup}");
+}
+
+#[test]
+fn table5_is_weak_scaling_flat() {
+    let r = run(Experiment::Table5);
+    let first: f64 = r.rows[0][2].split_whitespace().next().unwrap().parse().unwrap();
+    let last: f64 = r.rows.last().unwrap()[2].split_whitespace().next().unwrap().parse().unwrap();
+    assert!(last < 1.15 * first, "weak scaling must stay flat: {first} → {last}");
+}
+
+#[test]
+fn experiment_names_unique() {
+    let mut names: Vec<&str> = Experiment::ALL.iter().map(|e| e.name()).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), Experiment::ALL.len());
+}
