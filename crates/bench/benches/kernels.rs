@@ -1,6 +1,5 @@
 //! Criterion benches over the real computational kernels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use columbia_kernels::cg::{cg_solve, npb_matrix};
 use columbia_kernels::complex::Complex;
 use columbia_kernels::dgemm::{dgemm_blocked, dgemm_naive};
@@ -8,6 +7,7 @@ use columbia_kernels::fft::fft;
 use columbia_kernels::grid::Grid3;
 use columbia_kernels::lusgs::{forward_sweep_lex, LuSgsCoeffs};
 use columbia_kernels::mg::v_cycle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_dgemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("dgemm");
@@ -30,8 +30,9 @@ fn bench_fft(c: &mut Criterion) {
     let mut g = c.benchmark_group("fft");
     for n in [1024usize, 16384] {
         g.bench_with_input(BenchmarkId::new("radix2", n), &n, |bch, &n| {
-            let mut data: Vec<Complex> =
-                (0..n).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+            let mut data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), 0.0))
+                .collect();
             bch.iter(|| fft(&mut data));
         });
     }
@@ -63,5 +64,12 @@ fn bench_lusgs(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dgemm, bench_fft, bench_mg, bench_cg, bench_lusgs);
+criterion_group!(
+    benches,
+    bench_dgemm,
+    bench_fft,
+    bench_mg,
+    bench_cg,
+    bench_lusgs
+);
 criterion_main!(benches);

@@ -52,9 +52,16 @@ fn bench_fig8_compiler_sweep(c: &mut Criterion) {
 fn bench_real_class_s(c: &mut Criterion) {
     let mut g = c.benchmark_group("npb_real");
     g.sample_size(10);
-    g.bench_function("mg_class_s", |b| b.iter(|| columbia_npb::mg::run_real(NpbClass::S)));
+    g.bench_function("mg_class_s", |b| {
+        b.iter(|| columbia_npb::mg::run_real(NpbClass::S))
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_fig6_points, bench_fig8_compiler_sweep, bench_real_class_s);
+criterion_group!(
+    benches,
+    bench_fig6_points,
+    bench_fig8_compiler_sweep,
+    bench_real_class_s
+);
 criterion_main!(benches);

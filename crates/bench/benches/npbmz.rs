@@ -38,5 +38,10 @@ fn bench_fig11_point(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig9_point, bench_fig7_point, bench_fig11_point);
+criterion_group!(
+    benches,
+    bench_fig9_point,
+    bench_fig7_point,
+    bench_fig11_point
+);
 criterion_main!(benches);

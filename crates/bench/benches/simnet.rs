@@ -41,7 +41,14 @@ fn bench_engine(c: &mut Criterion) {
             .map(|i| CpuId::new((i / 512) as u32, (i % 512) as u32))
             .collect();
         let programs: Vec<Vec<Op>> = (0..n)
-            .map(|_| vec![Op::Compute(1e-3), Op::AllToAll { bytes_per_pair: 1024 }])
+            .map(|_| {
+                vec![
+                    Op::Compute(1e-3),
+                    Op::AllToAll {
+                        bytes_per_pair: 1024,
+                    },
+                ]
+            })
             .collect();
         b.iter(|| simulate(&programs, &cpus, &fabric).unwrap());
     });

@@ -7,16 +7,18 @@
 use columbia_hpcc::beff::{self, Pattern};
 use columbia_hpcc::{dgemm, stream};
 use columbia_ins3d::{iteration_seconds, Ins3dConfig};
-use columbia_machine::cluster::{ClusterConfig, InterNodeFabric};
+use columbia_machine::cluster::{ClusterConfig, InterNodeFabric, NodeId};
 use columbia_machine::node::{NodeKind, NodeModel};
 use columbia_md::scaling::{weak_scaling_point, TABLE5_CPUS};
 use columbia_npb::{gflops_per_cpu, NpbBenchmark, NpbClass, Paradigm};
-use columbia_npbmz::bench::{run as mz_run, MzBenchmark, MzRunConfig};
+use columbia_npbmz::bench::{run as mz_run, MzBenchmark, MzOutcome, MzRunConfig};
 use columbia_npbmz::MzClass;
 use columbia_overflowd::{step_times, OverflowConfig};
 use columbia_runtime::compiler::CompilerVersion;
 use columbia_runtime::pinning::Pinning;
 use columbia_simnet::fabric::MptVersion;
+use columbia_simnet::fault::DEFAULT_MULTIPLEX_QUEUE_PENALTY;
+use columbia_simnet::{ConnectionLimit, ConnectionPolicy, FaultPlan, SimError};
 
 use crate::report::{gbs, gf, secs, Report};
 
@@ -53,11 +55,13 @@ pub enum Experiment {
     Table5,
     /// Table 6: OVERFLOW-D across nodes, NUMAlink4 vs InfiniBand.
     Table6,
+    /// Fault injection: graceful degradation under a seeded fault plan.
+    Degraded,
 }
 
 impl Experiment {
     /// All experiments in paper order.
-    pub const ALL: [Experiment; 15] = [
+    pub const ALL: [Experiment; 16] = [
         Experiment::Table1,
         Experiment::Fig5,
         Experiment::DgemmStream,
@@ -73,6 +77,7 @@ impl Experiment {
         Experiment::Fig11,
         Experiment::Table5,
         Experiment::Table6,
+        Experiment::Degraded,
     ];
 
     /// CLI name.
@@ -93,6 +98,7 @@ impl Experiment {
             Experiment::Fig11 => "fig11",
             Experiment::Table5 => "table5",
             Experiment::Table6 => "table6",
+            Experiment::Degraded => "degraded",
         }
     }
 
@@ -102,25 +108,48 @@ impl Experiment {
     }
 }
 
-/// Run one experiment.
-pub fn run(exp: Experiment) -> Report {
+/// Run one experiment, surfacing any simulation failure as its typed
+/// [`SimError`].
+pub fn try_run(exp: Experiment) -> Result<Report, SimError> {
     match exp {
-        Experiment::Table1 => table1(),
-        Experiment::Fig5 => fig5(),
-        Experiment::DgemmStream => dgemm_stream(),
+        Experiment::Table1 => Ok(table1()),
+        Experiment::Fig5 => Ok(fig5()),
+        Experiment::DgemmStream => Ok(dgemm_stream()),
         Experiment::Fig6 => fig6(),
-        Experiment::Table2 => table2(),
+        Experiment::Table2 => Ok(table2()),
         Experiment::Table3 => table3(),
-        Experiment::Stride => stride(),
+        Experiment::Stride => Ok(stride()),
         Experiment::Fig7 => fig7(),
         Experiment::Fig8 => fig8(),
         Experiment::Table4 => table4(),
         Experiment::Fig9 => fig9(),
-        Experiment::Fig10 => fig10(),
+        Experiment::Fig10 => Ok(fig10()),
         Experiment::Fig11 => fig11(),
         Experiment::Table5 => table5(),
         Experiment::Table6 => table6(),
+        Experiment::Degraded => degraded(),
     }
+}
+
+/// Run one experiment; a failed simulation becomes a diagnostic report
+/// rather than a panic, so sweeps always produce output.
+pub fn run(exp: Experiment) -> Report {
+    try_run(exp).unwrap_or_else(|err| failure_report(exp, &err))
+}
+
+/// Render a [`SimError`] as a report so failures are first-class
+/// experiment output (stuck ranks, exhausted connections, …).
+fn failure_report(exp: Experiment, err: &SimError) -> Report {
+    let mut r = Report::new(
+        exp.name(),
+        "simulation failed — structured diagnosis",
+        &["diagnostic"],
+    );
+    for line in err.to_string().lines() {
+        r.push_row(vec![line.trim().to_string()]);
+    }
+    r.note("see DESIGN.md \"Fault model\" for the failure taxonomy");
+    r
 }
 
 fn table1() -> Report {
@@ -129,21 +158,22 @@ fn table1() -> Report {
         "Characteristics of the two types of Altix nodes used in Columbia",
         &["Characteristic", "3700", "BX2a", "BX2b"],
     );
-    let nodes: Vec<_> = NodeKind::ALL.iter().map(|&k| NodeModel::new(k).table1_row()).collect();
-    for i in 0..nodes[0].len() {
-        r.push_row(vec![
-            nodes[0][i].0.to_string(),
-            nodes[0][i].1.clone(),
-            nodes[1][i].1.clone(),
-            nodes[2][i].1.clone(),
-        ]);
+    let nodes: Vec<_> = NodeKind::ALL
+        .iter()
+        .map(|&k| NodeModel::new(k).table1_row())
+        .collect();
+    for ((a, b), c) in nodes[0].iter().zip(&nodes[1]).zip(&nodes[2]) {
+        r.push_row(vec![a.0.to_string(), a.1.clone(), b.1.clone(), c.1.clone()]);
     }
     let c = ClusterConfig::columbia();
     r.note(format!(
         "cluster: {} nodes, {} CPUs total; pure MPI fully usable on up to {} nodes",
         c.nodes.len(),
         c.total_cpus(),
-        (2..8).take_while(|&n| c.pure_mpi_fully_usable(n)).last().unwrap_or(1) + 0
+        (2..8)
+            .take_while(|&n| c.pure_mpi_fully_usable(n))
+            .last()
+            .unwrap_or(1)
     ));
     r
 }
@@ -200,7 +230,7 @@ fn dgemm_stream() -> Report {
     r
 }
 
-fn fig6() -> Report {
+fn fig6() -> Result<Report, SimError> {
     let mut r = Report::new(
         "Fig. 6",
         "NPB class B per-CPU Gflop/s on three node types",
@@ -211,7 +241,14 @@ fn fig6() -> Report {
         for paradigm in Paradigm::ALL {
             for kind in NodeKind::ALL {
                 for &n in &counts {
-                    let g = gflops_per_cpu(bench, NpbClass::B, kind, paradigm, n, CompilerVersion::V7_1);
+                    let g = gflops_per_cpu(
+                        bench,
+                        NpbClass::B,
+                        kind,
+                        paradigm,
+                        n,
+                        CompilerVersion::V7_1,
+                    )?;
                     r.push_row(vec![
                         bench.name().into(),
                         paradigm.name().into(),
@@ -224,7 +261,7 @@ fn fig6() -> Report {
         }
     }
     r.note("paper anchors: FT(MPI) ~2x on BX2 at 256; MG/BT jump ~50% on BX2b at 64; OpenMP gap up to 2x at 128 threads");
-    r
+    Ok(r)
 }
 
 fn table2() -> Report {
@@ -260,15 +297,15 @@ fn table2() -> Report {
     r
 }
 
-fn table3() -> Report {
+fn table3() -> Result<Report, SimError> {
     let mut r = Report::new(
         "Table 3",
         "OVERFLOW-D per-step times, 3700 vs BX2b (NUMAlink4, in-node)",
         &["CPUs", "3700 comm", "3700 exec", "BX2b comm", "BX2b exec"],
     );
     for cpus in [32usize, 64, 128, 256, 508] {
-        let a = step_times(&OverflowConfig::table3(NodeKind::Altix3700, cpus));
-        let b = step_times(&OverflowConfig::table3(NodeKind::Bx2b, cpus));
+        let a = step_times(&OverflowConfig::table3(NodeKind::Altix3700, cpus))?;
+        let b = step_times(&OverflowConfig::table3(NodeKind::Bx2b, cpus))?;
         r.push_row(vec![
             cpus.to_string(),
             secs(a.comm),
@@ -277,8 +314,10 @@ fn table3() -> Report {
             secs(b.exec),
         ]);
     }
-    r.note("paper: BX2b ~2x faster on average; 3700 comm/exec climbs from ~0.3 (256) past 0.5 (508)");
-    r
+    r.note(
+        "paper: BX2b ~2x faster on average; 3700 comm/exec climbs from ~0.3 (256) past 0.5 (508)",
+    );
+    Ok(r)
 }
 
 fn stride() -> Report {
@@ -307,7 +346,7 @@ fn stride() -> Report {
     r
 }
 
-fn fig7() -> Report {
+fn fig7() -> Result<Report, SimError> {
     let mut r = Report::new(
         "Fig. 7",
         "Pinning vs no pinning, SP-MZ class C on BX2b",
@@ -315,9 +354,9 @@ fn fig7() -> Report {
     );
     for (procs, threads) in [(64usize, 1usize), (32, 2), (16, 8), (8, 16), (4, 32)] {
         let mut cfg = MzRunConfig::new(MzBenchmark::SpMz, MzClass::C, procs, threads);
-        let tp = mz_run(&cfg).seconds_per_step;
+        let tp = mz_run(&cfg)?.seconds_per_step;
         cfg.pinning = Pinning::Unpinned;
-        let tu = mz_run(&cfg).seconds_per_step;
+        let tu = mz_run(&cfg)?.seconds_per_step;
         r.push_row(vec![
             (procs * threads).to_string(),
             threads.to_string(),
@@ -326,10 +365,10 @@ fn fig7() -> Report {
         ]);
     }
     r.note("paper: pinning matters most for many threads/proc; pure process mode barely affected");
-    r
+    Ok(r)
 }
 
-fn fig8() -> Report {
+fn fig8() -> Result<Report, SimError> {
     let mut r = Report::new(
         "Fig. 8",
         "Compiler versions on the OpenMP NPBs (BX2b, class B)",
@@ -337,10 +376,17 @@ fn fig8() -> Report {
     );
     for bench in NpbBenchmark::ALL {
         for threads in [16u32, 64] {
-            let g: Vec<String> = CompilerVersion::ALL
-                .iter()
-                .map(|&v| gf(gflops_per_cpu(bench, NpbClass::B, NodeKind::Bx2b, Paradigm::OpenMp, threads, v)))
-                .collect();
+            let mut g = Vec::new();
+            for &v in CompilerVersion::ALL.iter() {
+                g.push(gf(gflops_per_cpu(
+                    bench,
+                    NpbClass::B,
+                    NodeKind::Bx2b,
+                    Paradigm::OpenMp,
+                    threads,
+                    v,
+                )?));
+            }
             r.push_row(vec![
                 bench.name().into(),
                 threads.to_string(),
@@ -352,10 +398,10 @@ fn fig8() -> Report {
         }
     }
     r.note("paper: 8.0 worst in most cases; 9.0b best on FT; MG crossover at 32 threads; no overall winner");
-    r
+    Ok(r)
 }
 
-fn table4() -> Report {
+fn table4() -> Result<Report, SimError> {
     let mut r = Report::new(
         "Table 4",
         "INS3D and OVERFLOW-D under Intel Fortran 7.1 vs 8.1",
@@ -378,25 +424,25 @@ fn table4() -> Report {
         ]);
     }
     for procs in [32usize, 128] {
-        let mk = |compiler| {
-            step_times(&OverflowConfig {
+        let mk = |compiler| -> Result<f64, SimError> {
+            Ok(step_times(&OverflowConfig {
                 compiler,
                 ..OverflowConfig::table3(NodeKind::Altix3700, procs)
-            })
-            .exec
+            })?
+            .exec)
         };
         r.push_row(vec![
             "OVERFLOW-D (s/step)".into(),
             procs.to_string(),
-            secs(mk(CompilerVersion::V7_1)),
-            secs(mk(CompilerVersion::V8_1)),
+            secs(mk(CompilerVersion::V7_1)?),
+            secs(mk(CompilerVersion::V8_1)?),
         ]);
     }
     r.note("paper: INS3D negligible difference; OVERFLOW-D 7.1 wins 20-40% under 64 CPUs, identical above");
-    r
+    Ok(r)
 }
 
-fn fig9() -> Report {
+fn fig9() -> Result<Report, SimError> {
     let mut r = Report::new(
         "Fig. 9",
         "BT-MZ class C under process/thread combinations (BX2b)",
@@ -415,7 +461,12 @@ fn fig9() -> Report {
         if procs * threads > 512 {
             continue;
         }
-        let out = mz_run(&MzRunConfig::new(MzBenchmark::BtMz, MzClass::C, procs, threads));
+        let out = mz_run(&MzRunConfig::new(
+            MzBenchmark::BtMz,
+            MzClass::C,
+            procs,
+            threads,
+        ))?;
         r.push_row(vec![
             procs.to_string(),
             threads.to_string(),
@@ -424,14 +475,21 @@ fn fig9() -> Report {
         ]);
     }
     r.note("paper: MPI scales almost linearly until load imbalance; OpenMP drops quickly beyond 2 threads");
-    r
+    Ok(r)
 }
 
 fn fig10() -> Report {
     let mut r = Report::new(
         "Fig. 10",
         "Multinode b_eff: NUMAlink4 vs InfiniBand (BX2b nodes)",
-        &["pattern", "fabric", "nodes", "CPUs", "latency", "bandwidth GB/s"],
+        &[
+            "pattern",
+            "fabric",
+            "nodes",
+            "CPUs",
+            "latency",
+            "bandwidth GB/s",
+        ],
     );
     let counts = [256u32, 1024, 2048];
     for (nodes, inter) in [
@@ -459,7 +517,7 @@ fn fig10() -> Report {
     r
 }
 
-fn fig11() -> Report {
+fn fig11() -> Result<Report, SimError> {
     let mut r = Report::new(
         "Fig. 11",
         "NPB-MZ class E across nodes and fabrics",
@@ -477,11 +535,16 @@ fn fig11() -> Report {
                 cfg.nodes = ((procs * threads) as u32).div_ceil(512).max(2);
                 cfg.inter = inter;
                 cfg.mpt = mpt;
-                let out = mz_run(&cfg);
+                let out = mz_run(&cfg)?;
                 r.push_row(vec![
                     bench.name().into(),
                     inter.name().into(),
-                    if mpt == MptVersion::Beta { "beta" } else { "released" }.into(),
+                    if mpt == MptVersion::Beta {
+                        "beta"
+                    } else {
+                        "released"
+                    }
+                    .into(),
                     format!("{procs}x{threads}"),
                     gf(out.total_gflops),
                 ]);
@@ -489,18 +552,18 @@ fn fig11() -> Report {
         }
     }
     r.note("paper: BT-MZ near-linear, IB ~7% worse; SP-MZ 40% slower on IB with released MPT at 256, beta closes the gap");
-    r
+    Ok(r)
 }
 
-fn table5() -> Report {
+fn table5() -> Result<Report, SimError> {
     let mut r = Report::new(
         "Table 5",
         "MD weak scaling, 64,000 atoms per CPU, 100 steps",
         &["CPUs", "atoms", "s/step", "comm s/step", "efficiency"],
     );
-    let base = weak_scaling_point(1);
+    let base = weak_scaling_point(1)?;
     for &cpus in &TABLE5_CPUS {
-        let p = weak_scaling_point(cpus);
+        let p = weak_scaling_point(cpus)?;
         r.push_row(vec![
             cpus.to_string(),
             p.atoms.to_string(),
@@ -510,14 +573,16 @@ fn table5() -> Report {
         ]);
     }
     r.note("paper: almost perfect scalability to 2040 CPUs; communication insignificant");
-    r
+    Ok(r)
 }
 
-fn table6() -> Report {
+fn table6() -> Result<Report, SimError> {
     let mut r = Report::new(
         "Table 6",
         "OVERFLOW-D across BX2b nodes: NUMAlink4 vs InfiniBand",
-        &["nodes", "CPUs", "NL4 comm", "NL4 exec", "IB comm", "IB exec"],
+        &[
+            "nodes", "CPUs", "NL4 comm", "NL4 exec", "IB comm", "IB exec",
+        ],
     );
     for (nodes, procs) in [(2u32, 256usize), (2, 508), (4, 1016)] {
         if procs > 1679 {
@@ -533,8 +598,8 @@ fn table6() -> Report {
                 compiler: CompilerVersion::V8_1,
             })
         };
-        let nl = mk(InterNodeFabric::NumaLink4);
-        let ib = mk(InterNodeFabric::InfiniBand);
+        let nl = mk(InterNodeFabric::NumaLink4)?;
+        let ib = mk(InterNodeFabric::InfiniBand)?;
         r.push_row(vec![
             nodes.to_string(),
             procs.to_string(),
@@ -545,7 +610,95 @@ fn table6() -> Report {
         ]);
     }
     r.note("paper: NL4 totals ~10% better; reported comm reverses (IB lower)");
-    r
+    Ok(r)
+}
+
+/// The fault-injection seed used by the `degraded` experiment: results
+/// are deterministic, so the report is reproducible run to run.
+pub const DEGRADED_SEED: u64 = 42;
+
+/// Graceful degradation: BT-MZ class C, 256x4 hybrid filling two BX2b
+/// nodes over InfiniBand (128 processes per node), re-run under a
+/// ladder of seeded fault plans.
+fn degraded() -> Result<Report, SimError> {
+    let mut r = Report::new(
+        "Degraded",
+        "BT-MZ class C, 256x4 over 2 BX2b nodes (InfiniBand) under seeded faults",
+        &[
+            "scenario",
+            "s/step",
+            "slowdown",
+            "dropped",
+            "retransmit s",
+            "muxed msgs",
+        ],
+    );
+    let cfg = |faults: FaultPlan| {
+        let mut c = MzRunConfig::new(MzBenchmark::BtMz, MzClass::C, 256, 4);
+        c.nodes = 2;
+        c.inter = InterNodeFabric::InfiniBand;
+        c.faults = faults;
+        c
+    };
+    // Drops surface at the MPT level here, not the hardware level, so
+    // the first retransmit waits a software timeout, not IB's 100 µs.
+    let drops = |prob: f64| {
+        let mut plan = FaultPlan::with_drops(DEGRADED_SEED, prob);
+        plan.retransmit.timeout = 5.0e-3;
+        plan
+    };
+    let healthy = mz_run(&cfg(FaultPlan::none()))?;
+    let mut row = |label: String, out: &MzOutcome| {
+        r.push_row(vec![
+            label,
+            secs(out.seconds_per_step),
+            format!("{:.3}x", out.seconds_per_step / healthy.seconds_per_step),
+            out.faults.dropped_messages.to_string(),
+            secs(out.faults.retransmit_delay),
+            out.faults.multiplexed_messages.to_string(),
+        ]);
+    };
+    row("healthy".into(), &healthy);
+    for drop_prob in [0.02, 0.05, 0.10, 0.20] {
+        let out = mz_run(&cfg(drops(drop_prob)))?;
+        row(format!("drop {:.0}%", 100.0 * drop_prob), &out);
+    }
+    let degraded_link = mz_run(&cfg(FaultPlan::none().degrade_link(
+        NodeId(0),
+        NodeId(1),
+        4.0,
+        0.25,
+    )))?;
+    row("degraded link (4x lat, 1/4 bw)".into(), &degraded_link);
+    let failed_link = mz_run(&cfg(FaultPlan::none().fail_link(NodeId(0), NodeId(1))))?;
+    row("failed link (rerouted)".into(), &failed_link);
+    // Node 0 holds the heaviest zones (bin_pack seeds rank 0 with the
+    // largest), so slowing it drags the whole barrier-synced run.
+    let slow_node = mz_run(&cfg(FaultPlan::none().slow_node(NodeId(0), 2.0)))?;
+    row("slow node 0 (2x compute)".into(), &slow_node);
+    // A budget half of the p^2(n-1) = 128^2 connections each node
+    // needs, with the Multiplex fallback: the run completes, paying a
+    // queuing penalty per inter-node message instead of failing.
+    let tight = ConnectionLimit {
+        cards_per_node: 1,
+        connections_per_card: 8192,
+        policy: ConnectionPolicy::Multiplex {
+            queue_penalty: DEFAULT_MULTIPLEX_QUEUE_PENALTY,
+        },
+    };
+    let muxed = mz_run(&cfg(FaultPlan::none().with_connection_limit(tight)))?;
+    row("connections halved (multiplexed)".into(), &muxed);
+    if let Err(err) = mz_run(&cfg(FaultPlan::none().with_connection_limit(
+        ConnectionLimit {
+            policy: ConnectionPolicy::Fail,
+            ..tight
+        },
+    ))) {
+        r.note(format!("same budget under a fail-fast policy: {err}"));
+    }
+    r.note("connection budget follows the paper's section 2 formula: p^2(n-1) connections per node, 8 cards x 64K each on the real machine");
+    r.note("drop/retransmit ladder mirrors Fig. 11's released-MPT slowdown on InfiniBand; the degraded-link row is the same mechanism as the section 4.6.4 I/O-induced anomaly");
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -573,8 +726,18 @@ mod tests {
     fn stride_report_shows_the_1_9x_gain() {
         let r = run(Experiment::Stride);
         // Row 0 = stride 1, row 1 = stride 2 of STREAM triad.
-        let dense: f64 = r.rows[0][2].split_whitespace().next().unwrap().parse().unwrap();
-        let strided: f64 = r.rows[1][2].split_whitespace().next().unwrap().parse().unwrap();
+        let dense: f64 = r.rows[0][2]
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let strided: f64 = r.rows[1][2]
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         let gain = strided / dense;
         assert!((gain - 1.9).abs() < 0.1, "gain={gain}");
     }
@@ -589,7 +752,87 @@ mod tests {
     #[test]
     fn table5_shows_flat_scaling() {
         let r = run(Experiment::Table5);
-        let eff_last: f64 = r.rows.last().unwrap()[4].trim_end_matches('%').parse().unwrap();
+        let eff_last: f64 = r.rows.last().unwrap()[4]
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
         assert!(eff_last > 90.0, "eff={eff_last}%");
+    }
+
+    /// Parse the `{:.3}x` slowdown column of the degraded report.
+    fn slowdown(row: &[String]) -> f64 {
+        row[2].trim_end_matches('x').parse().unwrap()
+    }
+
+    #[test]
+    fn degraded_inflation_is_monotone_in_drop_rate() {
+        let r = run(Experiment::Degraded);
+        // Rows 0..=4: healthy, then drop 2/5/10/20%.
+        assert_eq!(r.rows[0][0], "healthy");
+        assert_eq!(slowdown(&r.rows[0]), 1.0);
+        for w in r.rows[..5].windows(2) {
+            assert!(
+                slowdown(&w[1]) >= slowdown(&w[0]),
+                "{} ({}) must not beat {} ({})",
+                w[1][0],
+                w[1][2],
+                w[0][0],
+                w[0][2]
+            );
+        }
+        let worst = slowdown(&r.rows[4]);
+        assert!(worst > 1.0, "20% drops must cost something: {worst}x");
+        let dropped: Vec<u64> = r.rows[1..5]
+            .iter()
+            .map(|row| row[3].parse().unwrap())
+            .collect();
+        assert!(dropped.windows(2).all(|w| w[1] >= w[0]), "{dropped:?}");
+        assert!(dropped[3] > 0);
+    }
+
+    #[test]
+    fn degraded_faults_each_leave_a_mark() {
+        let r = run(Experiment::Degraded);
+        // Every non-healthy scenario must cost time, gracefully.
+        for row in &r.rows[1..] {
+            assert!(slowdown(row) >= 1.0, "{}: {}", row[0], row[2]);
+        }
+        let slow_node = r
+            .rows
+            .iter()
+            .find(|row| row[0].starts_with("slow node"))
+            .unwrap();
+        assert!(
+            slowdown(slow_node) > 1.3,
+            "2x compute on half the ranks: {}",
+            slow_node[2]
+        );
+        let muxed = r
+            .rows
+            .iter()
+            .find(|row| row[0].contains("multiplexed"))
+            .unwrap();
+        let n_muxed: u64 = muxed[5].parse().unwrap();
+        assert!(n_muxed > 0, "halved budget must multiplex messages");
+        // The fail-fast counterpart of the multiplex row is a note.
+        assert!(
+            r.notes.iter().any(|n| n.contains("connections exhausted")),
+            "{:?}",
+            r.notes
+        );
+    }
+
+    #[test]
+    fn failed_simulations_render_as_reports() {
+        let err = SimError::ConnectionsExhausted {
+            node: 3,
+            procs_on_node: 512,
+            required: 786_432,
+            available: 524_288,
+        };
+        let r = failure_report(Experiment::Fig11, &err);
+        let text = r.to_text();
+        assert!(text.contains("node 3"), "{text}");
+        assert!(text.contains("Fault model"), "{text}");
     }
 }

@@ -75,9 +75,21 @@ impl Report {
         out
     }
 
-    /// Render as JSON.
+    /// Render as pretty-printed JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        use serde_json::{array, quote};
+        let strings = |v: &[String]| array(v.iter().map(|s| quote(s)));
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", quote(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", quote(&self.title)));
+        out.push_str(&format!("  \"headers\": {},\n", strings(&self.headers)));
+        out.push_str(&format!(
+            "  \"rows\": {},\n",
+            array(self.rows.iter().map(|r| strings(r)))
+        ));
+        out.push_str(&format!("  \"notes\": {}\n", strings(&self.notes)));
+        out.push('}');
+        out
     }
 }
 

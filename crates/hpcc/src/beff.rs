@@ -190,7 +190,10 @@ mod tests {
         let four = multi_node_sweep(4, InterNodeFabric::InfiniBand, MptVersion::Beta, &[256]);
         let l2 = two.get(Pattern::PingPong, 256).unwrap().latency;
         let l4 = four.get(Pattern::PingPong, 256).unwrap().latency;
-        assert!(l4 > l2, "four-node IB ping-pong must be worse: {l4:e} vs {l2:e}");
+        assert!(
+            l4 > l2,
+            "four-node IB ping-pong must be worse: {l4:e} vs {l2:e}"
+        );
     }
 
     #[test]

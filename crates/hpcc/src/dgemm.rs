@@ -6,9 +6,9 @@
 //! than 0.5% (it is cache-resident, not bus-bound). §4.6.1: the
 //! internode network plays "a very minor role (less than 0.5%)".
 
+use columbia_kernels::dgemm::{dgemm_flops, dgemm_parallel};
 use columbia_machine::calib;
 use columbia_machine::node::{NodeKind, NodeModel};
-use columbia_kernels::dgemm::{dgemm_flops, dgemm_parallel};
 
 use crate::MEMORY_FRACTION;
 
@@ -72,7 +72,11 @@ mod tests {
     #[test]
     fn bx2b_reaches_5_75_gflops() {
         let r = simulate(NodeKind::Bx2b, 1);
-        assert!((r.gflops_per_cpu - 5.75).abs() < 0.02, "{}", r.gflops_per_cpu);
+        assert!(
+            (r.gflops_per_cpu - 5.75).abs() < 0.02,
+            "{}",
+            r.gflops_per_cpu
+        );
     }
 
     #[test]
@@ -102,7 +106,10 @@ mod tests {
         let bytes = 3 * n * n * 8;
         let budget = node.memory_per_cpu() as f64 * MEMORY_FRACTION;
         assert!(bytes as f64 <= budget);
-        assert!(bytes as f64 > 0.97 * budget, "should nearly fill the budget");
+        assert!(
+            bytes as f64 > 0.97 * budget,
+            "should nearly fill the budget"
+        );
     }
 
     #[test]

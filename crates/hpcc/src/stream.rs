@@ -10,10 +10,10 @@
 //! * the internode network plays no role (STREAM is node-local).
 
 use columbia_machine::cluster::ClusterConfig;
+use columbia_machine::cluster::NodeId;
 use columbia_machine::memory::{MemoryModel, StreamOp};
 use columbia_machine::node::{NodeKind, NodeModel};
 use columbia_runtime::placement::{Placement, PlacementStrategy};
-use columbia_machine::cluster::NodeId;
 
 use crate::MEMORY_FRACTION;
 

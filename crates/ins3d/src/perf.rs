@@ -140,7 +140,10 @@ mod tests {
         // iteration time."
         for threads in [1usize, 4, 8] {
             let ratio = t(NodeKind::Altix3700, threads) / t(NodeKind::Bx2b, threads);
-            assert!((1.3..1.8).contains(&ratio), "threads={threads} ratio={ratio}");
+            assert!(
+                (1.3..1.8).contains(&ratio),
+                "threads={threads} ratio={ratio}"
+            );
         }
     }
 
@@ -155,9 +158,18 @@ mod tests {
         let s2 = t1 / t2;
         let s8 = t1 / t8;
         let s14 = t1 / t14;
-        assert!((1.4..1.8).contains(&s2), "2-thread speedup {s2} (paper 1.62)");
-        assert!((2.4..3.4).contains(&s8), "8-thread speedup {s8} (paper 2.87)");
-        assert!((2.9..3.9).contains(&s14), "14-thread speedup {s14} (paper 3.33)");
+        assert!(
+            (1.4..1.8).contains(&s2),
+            "2-thread speedup {s2} (paper 1.62)"
+        );
+        assert!(
+            (2.4..3.4).contains(&s8),
+            "8-thread speedup {s8} (paper 2.87)"
+        );
+        assert!(
+            (2.9..3.9).contains(&s14),
+            "14-thread speedup {s14} (paper 3.33)"
+        );
         // Decay beyond 8 threads: the 8→14 gain is small.
         assert!(s14 / s8 < 1.25, "scaling must decay beyond 8 threads");
     }
@@ -173,7 +185,10 @@ mod tests {
         let g36 = t(NodeKind::Bx2b, 1);
         let speedup = base / g36;
         // Table 2: 26430 / 825.2 ≈ 32x on 36 groups.
-        assert!((24.0..36.0).contains(&speedup), "36-group speedup {speedup}");
+        assert!(
+            (24.0..36.0).contains(&speedup),
+            "36-group speedup {speedup}"
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl AcSolver {
         assert!(n >= 8);
         use std::f64::consts::PI;
         let f = |i: usize, j: usize, k: usize| {
-            let (x, y, z) = (i as f64 / n as f64, j as f64 / n as f64, k as f64 / n as f64);
+            let (x, y, z) = (
+                i as f64 / n as f64,
+                j as f64 / n as f64,
+                k as f64 / n as f64,
+            );
             (x, y, z)
         };
         // div u = 0.2 cos(6πx) + 0.1 cos(6πz): zero-mean, mode 3.
@@ -113,7 +117,10 @@ impl AcSolver {
         }
         // A few line sweeps on the pressure increment (δp starts at
         // 0) — the non-factored line relaxation of §3.4.
-        let coeffs = LineGsCoeffs { diag: 6.2, off: 1.0 };
+        let coeffs = LineGsCoeffs {
+            diag: 6.2,
+            off: 1.0,
+        };
         let mut dp = Grid3::zeros(ni, nj, nk);
         for _ in 0..4 {
             line_sweep(&mut dp, &rhs, coeffs);

@@ -173,7 +173,7 @@ pub fn cg_solve(a: &Csr, x: &[f64], z: &mut [f64], iters: u32) -> CgResult {
 
 /// One NPB CG outer iteration: solve `Az = x`, report
 /// `ζ = shift + 1/(xᵀz)`, and set `x ← z/‖z‖` for the next round.
-pub fn power_iteration_step(a: &Csr, x: &mut Vec<f64>, shift: f64, inner_iters: u32) -> f64 {
+pub fn power_iteration_step(a: &Csr, x: &mut [f64], shift: f64, inner_iters: u32) -> f64 {
     let mut z = vec![0.0; a.n];
     cg_solve(a, x, &mut z, inner_iters);
     let xtz = dot(x, &z);
@@ -239,7 +239,11 @@ mod tests {
         let mut z = vec![0.0; 300];
         let res = cg_solve(&a, &x, &mut z, 25);
         // Residual after 25 iterations should be tiny relative to ‖x‖.
-        assert!(res.residual < 1e-8 * (300.0f64).sqrt(), "residual={}", res.residual);
+        assert!(
+            res.residual < 1e-8 * (300.0f64).sqrt(),
+            "residual={}",
+            res.residual
+        );
     }
 
     #[test]
@@ -250,7 +254,12 @@ mod tests {
         cg_solve(&a, &x, &mut z, 30);
         let mut az = vec![0.0; 150];
         a.matvec(&z, &mut az);
-        let err: f64 = az.iter().zip(&x).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+        let err: f64 = az
+            .iter()
+            .zip(&x)
+            .map(|(p, q)| (p - q).powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!(err < 1e-7, "err={err}");
     }
 

@@ -14,7 +14,16 @@ pub const BLOCK: usize = 64;
 /// Reference naive `C ← αAB + βC`.
 ///
 /// `a` is `m×k`, `b` is `k×n`, `c` is `m×n`, all row-major.
-pub fn dgemm_naive(m: usize, n: usize, k: usize, alpha: f64, a: &[f64], b: &[f64], beta: f64, c: &mut [f64]) {
+pub fn dgemm_naive(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
     check_dims(m, n, k, a, b, c);
     for i in 0..m {
         for j in 0..n {
@@ -29,7 +38,16 @@ pub fn dgemm_naive(m: usize, n: usize, k: usize, alpha: f64, a: &[f64], b: &[f64
 
 /// Cache-blocked `C ← αAB + βC` with an `i,l,j` inner order that
 /// streams `b` and `c` rows.
-pub fn dgemm_blocked(m: usize, n: usize, k: usize, alpha: f64, a: &[f64], b: &[f64], beta: f64, c: &mut [f64]) {
+pub fn dgemm_blocked(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
     check_dims(m, n, k, a, b, c);
     if beta != 1.0 {
         for v in c.iter_mut() {
@@ -58,7 +76,16 @@ pub fn dgemm_blocked(m: usize, n: usize, k: usize, alpha: f64, a: &[f64], b: &[f
 }
 
 /// Rayon-parallel blocked multiply: row bands of `c` are independent.
-pub fn dgemm_parallel(m: usize, n: usize, k: usize, alpha: f64, a: &[f64], b: &[f64], beta: f64, c: &mut [f64]) {
+pub fn dgemm_parallel(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
     check_dims(m, n, k, a, b, c);
     c.par_chunks_mut(n.max(1) * BLOCK)
         .enumerate()
@@ -101,7 +128,10 @@ mod tests {
     }
 
     fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

@@ -26,7 +26,12 @@ impl Grid3 {
     }
 
     /// Grid filled by `f(i, j, k)`.
-    pub fn from_fn(ni: usize, nj: usize, nk: usize, mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        ni: usize,
+        nj: usize,
+        nk: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Self {
         let mut g = Grid3::zeros(ni, nj, nk);
         for i in 0..ni {
             for j in 0..nj {

@@ -22,7 +22,10 @@ pub struct LineGsCoeffs {
 
 impl Default for LineGsCoeffs {
     fn default() -> Self {
-        LineGsCoeffs { diag: 6.5, off: 1.0 }
+        LineGsCoeffs {
+            diag: 6.5,
+            off: 1.0,
+        }
     }
 }
 
@@ -230,7 +233,10 @@ mod tests {
         // With off-coupling only in k (single i, j), one sweep is an
         // exact solve.
         let (ni, nj, nk) = (1, 1, 16);
-        let c = LineGsCoeffs { diag: 4.0, off: 1.0 };
+        let c = LineGsCoeffs {
+            diag: 4.0,
+            off: 1.0,
+        };
         let rhs = Grid3::from_fn(ni, nj, nk, |_, _, k| (k % 3) as f64);
         let mut u = Grid3::zeros(ni, nj, nk);
         line_sweep(&mut u, &rhs, c);

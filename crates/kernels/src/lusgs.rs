@@ -29,7 +29,10 @@ pub struct LuSgsCoeffs {
 
 impl Default for LuSgsCoeffs {
     fn default() -> Self {
-        LuSgsCoeffs { diag: 6.5, off: 1.0 }
+        LuSgsCoeffs {
+            diag: 6.5,
+            off: 1.0,
+        }
     }
 }
 
@@ -194,7 +197,10 @@ mod tests {
     fn iterations_converge_on_dominant_operator() {
         let n = 12;
         let rhs = rhs_grid(n);
-        let c = LuSgsCoeffs { diag: 7.0, off: 1.0 };
+        let c = LuSgsCoeffs {
+            diag: 7.0,
+            off: 1.0,
+        };
         let mut u = Grid3::zeros(n, n, n);
         let r0 = model_residual(&u, &rhs, c);
         let mut last = f64::INFINITY;
@@ -211,7 +217,10 @@ mod tests {
     fn solution_satisfies_operator() {
         let n = 8;
         let rhs = rhs_grid(n);
-        let c = LuSgsCoeffs { diag: 8.0, off: 1.0 };
+        let c = LuSgsCoeffs {
+            diag: 8.0,
+            off: 1.0,
+        };
         let mut u = Grid3::zeros(n, n, n);
         for _ in 0..60 {
             lusgs_iteration(&mut u, &rhs, c);

@@ -54,7 +54,10 @@ pub fn smooth(u: &mut Grid3, v: &Grid3) {
 /// Full-weighting restriction to the half-resolution grid.
 pub fn restrict(fine: &Grid3) -> Grid3 {
     let (ni, nj, nk) = fine.dims();
-    assert!(ni % 2 == 0 && nj % 2 == 0 && nk % 2 == 0, "grid must halve evenly");
+    assert!(
+        ni % 2 == 0 && nj % 2 == 0 && nk % 2 == 0,
+        "grid must halve evenly"
+    );
     let (ci, cj, ck) = (ni / 2, nj / 2, nk / 2);
     Grid3::from_fn(ci, cj, ck, |i, j, k| {
         // 27-point full weighting centred on the even fine point.
@@ -78,7 +81,11 @@ pub fn restrict(fine: &Grid3) -> Grid3 {
 pub fn prolongate_add(fine: &mut Grid3, coarse: &Grid3) {
     let (ni, nj, nk) = fine.dims();
     let (ci, cj, ck) = coarse.dims();
-    assert_eq!((ci * 2, cj * 2, ck * 2), (ni, nj, nk), "coarse must be half of fine");
+    assert_eq!(
+        (ci * 2, cj * 2, ck * 2),
+        (ni, nj, nk),
+        "coarse must be half of fine"
+    );
     for i in 0..ni {
         for j in 0..nj {
             for k in 0..nk {

@@ -16,7 +16,10 @@ use columbia_machine::memory::StreamOp;
 /// `scale: b←s·c`, `add: c←a+b`, `triad: a←b+s·c`.
 pub fn run_op(op: StreamOp, a: &mut [f64], b: &mut [f64], c: &mut [f64], s: f64) {
     let n = a.len();
-    assert!(b.len() == n && c.len() == n, "vectors must have equal length");
+    assert!(
+        b.len() == n && c.len() == n,
+        "vectors must have equal length"
+    );
     match op {
         StreamOp::Copy => c.copy_from_slice(a),
         StreamOp::Scale => {
@@ -40,13 +43,20 @@ pub fn run_op(op: StreamOp, a: &mut [f64], b: &mut [f64], c: &mut [f64], s: f64)
 /// Rayon-parallel variant of [`run_op`].
 pub fn run_op_parallel(op: StreamOp, a: &mut [f64], b: &mut [f64], c: &mut [f64], s: f64) {
     let n = a.len();
-    assert!(b.len() == n && c.len() == n, "vectors must have equal length");
+    assert!(
+        b.len() == n && c.len() == n,
+        "vectors must have equal length"
+    );
     match op {
         StreamOp::Copy => {
-            c.par_iter_mut().zip(a.par_iter()).for_each(|(cv, av)| *cv = *av);
+            c.par_iter_mut()
+                .zip(a.par_iter())
+                .for_each(|(cv, av)| *cv = *av);
         }
         StreamOp::Scale => {
-            b.par_iter_mut().zip(c.par_iter()).for_each(|(bv, cv)| *bv = s * cv);
+            b.par_iter_mut()
+                .zip(c.par_iter())
+                .for_each(|(bv, cv)| *bv = s * cv);
         }
         StreamOp::Add => {
             c.par_iter_mut()

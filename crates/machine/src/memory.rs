@@ -36,7 +36,12 @@ pub enum StreamOp {
 
 impl StreamOp {
     /// All four operations in STREAM's canonical order.
-    pub const ALL: [StreamOp; 4] = [StreamOp::Copy, StreamOp::Scale, StreamOp::Add, StreamOp::Triad];
+    pub const ALL: [StreamOp; 4] = [
+        StreamOp::Copy,
+        StreamOp::Scale,
+        StreamOp::Add,
+        StreamOp::Triad,
+    ];
 
     /// Bytes moved per vector element (8-byte doubles).
     pub fn bytes_per_element(self) -> u64 {
@@ -151,7 +156,8 @@ mod tests {
     #[test]
     fn stride_gain_is_about_1_9x() {
         let (_, mem) = model(NodeKind::Altix3700);
-        let gain = mem.stream_bandwidth(StreamOp::Triad, 1) / mem.stream_bandwidth(StreamOp::Triad, 2);
+        let gain =
+            mem.stream_bandwidth(StreamOp::Triad, 1) / mem.stream_bandwidth(StreamOp::Triad, 2);
         assert!((gain - 1.9).abs() < 0.05, "gain={gain}");
     }
 

@@ -17,6 +17,7 @@ use columbia_runtime::compiler::KernelClass;
 use columbia_runtime::compute::WorkPhase;
 use columbia_runtime::exec::{execute, ExecConfig, SpecOp, WorkloadSpec};
 use columbia_runtime::placement::{Placement, PlacementStrategy};
+use columbia_simnet::{FaultPlan, SimError};
 
 use crate::system::neighbours_per_atom;
 
@@ -58,12 +59,13 @@ pub fn flops_per_atom() -> f64 {
 
 /// Simulate one weak-scaling point on `cpus` processors spread over as
 /// many BX2b nodes as needed (NUMAlink4, as Table 5's caption says).
-pub fn weak_scaling_point(cpus: u32) -> WeakScalingPoint {
+/// A failed simulation surfaces as its typed [`SimError`] diagnosis.
+pub fn weak_scaling_point(cpus: u32) -> Result<WeakScalingPoint, SimError> {
     assert!(cpus >= 1);
     // Production runs steer clear of the boot cpuset: at most 508
     // CPUs per node (§4.6.2). Full-node 512-CPU requests still pack
     // densely and take the hit.
-    let cap = if cpus % 512 == 0 { 512 } else { 508 };
+    let cap = if cpus.is_multiple_of(512) { 512 } else { 508 };
     let nodes_needed = cpus.div_ceil(cap).max(1);
     let cluster = ClusterConfig::uniform(NodeKind::Bx2b, nodes_needed);
     let nodes: Vec<NodeId> = (0..nodes_needed).map(NodeId).collect();
@@ -122,14 +124,15 @@ pub fn weak_scaling_point(cpus: u32) -> WeakScalingPoint {
         placement,
         compiler: columbia_runtime::compiler::CompilerVersion::V7_1,
         pinning: columbia_runtime::pinning::Pinning::Pinned,
+        faults: FaultPlan::none(),
     };
-    let out = execute(&spec, &cfg);
-    WeakScalingPoint {
+    let out = execute(&spec, &cfg)?;
+    Ok(WeakScalingPoint {
         cpus,
         atoms: ATOMS_PER_CPU * cpus as u64,
         seconds_per_step: out.makespan / SIM_STEPS as f64,
         comm_per_step: out.mean_comm() / SIM_STEPS as f64,
-    }
+    })
 }
 
 /// The processor counts Table 5 reports (508 rather than 512 in a
@@ -139,6 +142,11 @@ pub const TABLE5_CPUS: [u32; 7] = [1, 8, 64, 256, 508, 1008, 2040];
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Healthy-machine shorthand: these sweeps must never fail.
+    fn weak_scaling_point(cpus: u32) -> WeakScalingPoint {
+        super::weak_scaling_point(cpus).unwrap()
+    }
 
     #[test]
     fn atom_counts_match_paper() {

@@ -107,10 +107,10 @@ impl MdSystem {
     #[inline]
     fn min_image(&self, i: usize, j: usize) -> V3 {
         let mut d = [0.0; 3];
-        for a in 0..3 {
+        for (a, slot) in d.iter_mut().enumerate() {
             let mut x = self.pos[j][a] - self.pos[i][a];
             x -= self.box_len * (x / self.box_len).round();
-            d[a] = x;
+            *slot = x;
         }
         d
     }
@@ -141,9 +141,9 @@ impl MdSystem {
                 if r2 < rc2 {
                     let (fr, u) = Self::lj(r2);
                     pot += u;
-                    for a in 0..3 {
-                        self.force[i][a] -= fr * d[a];
-                        self.force[j][a] += fr * d[a];
+                    for (a, &da) in d.iter().enumerate() {
+                        self.force[i][a] -= fr * da;
+                        self.force[j][a] += fr * da;
                     }
                 }
             }

@@ -45,8 +45,8 @@ proptest! {
             sys.step(0.002);
         }
         for p in &sys.pos {
-            for a in 0..3 {
-                prop_assert!((0.0..sys.box_len + 1e-12).contains(&p[a]));
+            for x in p {
+                prop_assert!((0.0..sys.box_len + 1e-12).contains(x));
             }
         }
     }

@@ -68,7 +68,14 @@ pub fn spec_mpi(class: NpbClass, np: usize, iters: u32) -> WorkloadSpec {
         for (r, ops) in spec.ranks.iter_mut().enumerate() {
             for (s, &d) in dists.iter().enumerate() {
                 let tag = (it as u64) * 100 + (s as u64) * 10;
-                push_halo(ops, r, np, d.min(np.saturating_sub(1)).max(1), face_bytes.max(64), tag);
+                push_halo(
+                    ops,
+                    r,
+                    np,
+                    d.min(np.saturating_sub(1)).max(1),
+                    face_bytes.max(64),
+                    tag,
+                );
                 ops.push(SpecOp::Work(sweep_phase));
             }
         }
@@ -104,9 +111,8 @@ pub fn run_real(class: NpbClass) -> BtRunResult {
     for i in 0..n {
         for j in 0..n {
             for k in 0..n {
-                for v in 0..NVAR {
-                    u[idx(i, j, k)][v] =
-                        ((i + 2 * j + 3 * k + v) % 7) as f64 - 3.0 + (v as f64) * 0.1;
+                for (v, x) in u[idx(i, j, k)].iter_mut().enumerate() {
+                    *x = ((i + 2 * j + 3 * k + v) % 7) as f64 - 3.0 + (v as f64) * 0.1;
                 }
             }
         }

@@ -35,7 +35,7 @@ pub const INNER_ITERS: u32 = 25;
 pub fn profile(class: NpbClass) -> BenchmarkProfile {
     let (n, nz_row, iterations, _) = size(class);
     let nnz = (n * nz_row) as f64;
-    let flops_inner = kcg::cg_iter_flops(n, (n * nz_row) as usize);
+    let flops_inner = kcg::cg_iter_flops(n, n * nz_row);
     BenchmarkProfile {
         flops_per_iter: flops_inner * INNER_ITERS as f64,
         mem_bytes_per_iter: INNER_ITERS as f64 * (nnz * 12.0 + 4.0 * n as f64 * 8.0),
@@ -154,7 +154,10 @@ mod tests {
         let spec = spec_mpi(NpbClass::A, 8, 1);
         let ops = &spec.ranks[0];
         let works = ops.iter().filter(|o| matches!(o, SpecOp::Work(_))).count();
-        let reduces = ops.iter().filter(|o| matches!(o, SpecOp::AllReduce { .. })).count();
+        let reduces = ops
+            .iter()
+            .filter(|o| matches!(o, SpecOp::AllReduce { .. }))
+            .count();
         assert_eq!(works, INNER_ITERS as usize);
         assert_eq!(reduces, 2 * INNER_ITERS as usize);
     }

@@ -96,7 +96,10 @@ impl FtRunResult {
 /// iterations, checksumming every step.
 pub fn run_real(class: NpbClass) -> FtRunResult {
     let ((ni, nj, nk), iters) = size(class);
-    assert!(ni * nj * nk <= 1 << 19, "host-scale real runs are class S only");
+    assert!(
+        ni * nj * nk <= 1 << 19,
+        "host-scale real runs are class S only"
+    );
     let mut field = kfft::Field3::zeros(ni, nj, nk);
     // Deterministic pseudo-random initial condition.
     let mut state = 0x2545F4914F6CDD1Du64;
@@ -125,7 +128,11 @@ pub fn run_real(class: NpbClass) -> FtRunResult {
             for j in 0..dj {
                 for k in 0..dk {
                     let kb = |x: usize, n: usize| {
-                        let s = if x > n / 2 { x as i64 - n as i64 } else { x as i64 };
+                        let s = if x > n / 2 {
+                            x as i64 - n as i64
+                        } else {
+                            x as i64
+                        };
                         (s * s) as f64
                     };
                     let k2 = kb(i, di) + kb(j, dj) + kb(k, dk);
@@ -209,6 +216,8 @@ mod tests {
     #[test]
     fn single_rank_has_no_alltoall() {
         let spec = spec_mpi(NpbClass::A, 1, 2);
-        assert!(spec.ranks[0].iter().all(|o| !matches!(o, SpecOp::AllToAll { .. })));
+        assert!(spec.ranks[0]
+            .iter()
+            .all(|o| !matches!(o, SpecOp::AllToAll { .. })));
     }
 }

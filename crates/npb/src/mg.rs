@@ -56,8 +56,15 @@ pub fn push_halo(ops: &mut Vec<SpecOp>, r: usize, np: usize, dist: usize, bytes:
     let down = (r + np - dist) % np;
     ops.push(SpecOp::Send { to: up, bytes, tag });
     if down != up {
-        ops.push(SpecOp::Send { to: down, bytes, tag: tag + 1 });
-        ops.push(SpecOp::Recv { from: up, tag: tag + 1 });
+        ops.push(SpecOp::Send {
+            to: down,
+            bytes,
+            tag: tag + 1,
+        });
+        ops.push(SpecOp::Recv {
+            from: up,
+            tag: tag + 1,
+        });
     }
     ops.push(SpecOp::Recv { from: down, tag });
 }
@@ -170,7 +177,10 @@ mod tests {
         let spec = spec_mpi(NpbClass::B, 16, 2);
         assert_eq!(spec.nranks(), 16);
         for ops in &spec.ranks {
-            let allreduces = ops.iter().filter(|o| matches!(o, SpecOp::AllReduce { .. })).count();
+            let allreduces = ops
+                .iter()
+                .filter(|o| matches!(o, SpecOp::AllReduce { .. }))
+                .count();
             assert_eq!(allreduces, 2, "one norm allreduce per cycle");
             assert!(ops.iter().any(|o| matches!(o, SpecOp::Send { .. })));
         }
@@ -203,9 +213,9 @@ mod tests {
             })
             .collect();
         for (from, to, tag) in sends {
-            let matched = all[to].iter().any(
-                |o| matches!(o, SpecOp::Recv { from: f, tag: t } if *f == from && *t == tag),
-            );
+            let matched = all[to]
+                .iter()
+                .any(|o| matches!(o, SpecOp::Recv { from: f, tag: t } if *f == from && *t == tag));
             assert!(matched, "unmatched send {from}->{to} tag {tag}");
         }
     }

@@ -5,6 +5,7 @@ use columbia_machine::cluster::{ClusterConfig, NodeId};
 use columbia_machine::node::NodeKind;
 use columbia_runtime::compiler::CompilerVersion;
 use columbia_runtime::exec::{execute, ExecConfig, SpecOp, WorkloadSpec};
+use columbia_simnet::SimError;
 
 use crate::class::NpbClass;
 use crate::profile::BenchmarkProfile;
@@ -97,6 +98,8 @@ const SIM_ITERS: u32 = 2;
 
 /// Simulated per-CPU Gflop/s for one configuration — one point of
 /// Fig. 6 (with `compiler = 7.1`) or Fig. 8 (varying `compiler`).
+/// A failed simulation (deadlock, watchdog, …) surfaces as the
+/// [`SimError`] rather than a panic.
 pub fn gflops_per_cpu(
     bench: NpbBenchmark,
     class: NpbClass,
@@ -104,8 +107,8 @@ pub fn gflops_per_cpu(
     paradigm: Paradigm,
     cpus: u32,
     compiler: CompilerVersion,
-) -> f64 {
-    assert!(cpus >= 1 && cpus <= 512);
+) -> Result<f64, SimError> {
+    assert!((1..=512).contains(&cpus));
     let cluster = ClusterConfig::uniform(kind, 1);
     let prof = bench.profile(class);
     let (spec, mut cfg) = match paradigm {
@@ -124,9 +127,9 @@ pub fn gflops_per_cpu(
         }
     };
     cfg.compiler = compiler;
-    let out = execute(&spec, &cfg);
+    let out = execute(&spec, &cfg)?;
     let flops = prof.flops_per_iter * SIM_ITERS as f64;
-    flops / out.makespan / cpus as f64 / 1.0e9
+    Ok(flops / out.makespan / cpus as f64 / 1.0e9)
 }
 
 #[cfg(test)]
@@ -134,6 +137,18 @@ mod tests {
     use super::*;
 
     const V71: CompilerVersion = CompilerVersion::V7_1;
+
+    /// Healthy-machine shorthand: these sweeps must never fail.
+    fn gflops_per_cpu(
+        bench: NpbBenchmark,
+        class: NpbClass,
+        kind: NodeKind,
+        paradigm: Paradigm,
+        cpus: u32,
+        compiler: CompilerVersion,
+    ) -> f64 {
+        super::gflops_per_cpu(bench, class, kind, paradigm, cpus, compiler).unwrap()
+    }
 
     #[test]
     fn single_cpu_rates_are_sub_gflops() {
@@ -151,17 +166,48 @@ mod tests {
         // four or more. With 128 threads, the difference can be as
         // large as 2x for both FT and BT."
         for bench in [NpbBenchmark::Ft, NpbBenchmark::Bt] {
-            let b3 = gflops_per_cpu(bench, NpbClass::B, NodeKind::Altix3700, Paradigm::OpenMp, 128, V71);
-            let bb = gflops_per_cpu(bench, NpbClass::B, NodeKind::Bx2b, Paradigm::OpenMp, 128, V71);
+            let b3 = gflops_per_cpu(
+                bench,
+                NpbClass::B,
+                NodeKind::Altix3700,
+                Paradigm::OpenMp,
+                128,
+                V71,
+            );
+            let bb = gflops_per_cpu(
+                bench,
+                NpbClass::B,
+                NodeKind::Bx2b,
+                Paradigm::OpenMp,
+                128,
+                V71,
+            );
             let ratio = bb / b3;
-            assert!(ratio > 1.5, "{bench}: OpenMP 128-thread BX2b/3700 = {ratio}");
+            assert!(
+                ratio > 1.5,
+                "{bench}: OpenMP 128-thread BX2b/3700 = {ratio}"
+            );
         }
     }
 
     #[test]
     fn openmp_node_gap_is_small_at_low_threads() {
-        let b3 = gflops_per_cpu(NpbBenchmark::Ft, NpbClass::B, NodeKind::Altix3700, Paradigm::OpenMp, 2, V71);
-        let bb = gflops_per_cpu(NpbBenchmark::Ft, NpbClass::B, NodeKind::Bx2a, Paradigm::OpenMp, 2, V71);
+        let b3 = gflops_per_cpu(
+            NpbBenchmark::Ft,
+            NpbClass::B,
+            NodeKind::Altix3700,
+            Paradigm::OpenMp,
+            2,
+            V71,
+        );
+        let bb = gflops_per_cpu(
+            NpbBenchmark::Ft,
+            NpbClass::B,
+            NodeKind::Bx2a,
+            Paradigm::OpenMp,
+            2,
+            V71,
+        );
         let ratio = bb / b3;
         assert!(ratio < 1.25, "gap at 2 threads should be small: {ratio}");
     }
@@ -170,8 +216,22 @@ mod tests {
     fn ft_mpi_about_2x_on_bx2_at_256() {
         // Fig. 6: "on 256 processors, FT runs about twice as fast on
         // BX2 than on 3700".
-        let f3 = gflops_per_cpu(NpbBenchmark::Ft, NpbClass::B, NodeKind::Altix3700, Paradigm::Mpi, 256, V71);
-        let fb = gflops_per_cpu(NpbBenchmark::Ft, NpbClass::B, NodeKind::Bx2a, Paradigm::Mpi, 256, V71);
+        let f3 = gflops_per_cpu(
+            NpbBenchmark::Ft,
+            NpbClass::B,
+            NodeKind::Altix3700,
+            Paradigm::Mpi,
+            256,
+            V71,
+        );
+        let fb = gflops_per_cpu(
+            NpbBenchmark::Ft,
+            NpbClass::B,
+            NodeKind::Bx2a,
+            Paradigm::Mpi,
+            256,
+            V71,
+        );
         let ratio = fb / f3;
         assert!((1.5..2.6).contains(&ratio), "ratio={ratio}");
     }
@@ -192,8 +252,22 @@ mod tests {
     #[test]
     fn mpi_scales_reasonably_to_256() {
         // MPI per-CPU rate should not collapse by 256 ranks.
-        let g1 = gflops_per_cpu(NpbBenchmark::Bt, NpbClass::B, NodeKind::Bx2b, Paradigm::Mpi, 1, V71);
-        let g256 = gflops_per_cpu(NpbBenchmark::Bt, NpbClass::B, NodeKind::Bx2b, Paradigm::Mpi, 256, V71);
+        let g1 = gflops_per_cpu(
+            NpbBenchmark::Bt,
+            NpbClass::B,
+            NodeKind::Bx2b,
+            Paradigm::Mpi,
+            1,
+            V71,
+        );
+        let g256 = gflops_per_cpu(
+            NpbBenchmark::Bt,
+            NpbClass::B,
+            NodeKind::Bx2b,
+            Paradigm::Mpi,
+            256,
+            V71,
+        );
         assert!(g256 > 0.25 * g1, "g1={g1} g256={g256}");
     }
 
@@ -201,11 +275,39 @@ mod tests {
     fn openmp_beats_mpi_at_small_counts_and_loses_at_scale() {
         // §4.1.2: "OpenMP versions demonstrated better performance on a
         // small number of CPUs, but MPI versions scaled much better."
-        let omp4 = gflops_per_cpu(NpbBenchmark::Mg, NpbClass::B, NodeKind::Bx2b, Paradigm::OpenMp, 4, V71);
-        let mpi4 = gflops_per_cpu(NpbBenchmark::Mg, NpbClass::B, NodeKind::Bx2b, Paradigm::Mpi, 4, V71);
+        let omp4 = gflops_per_cpu(
+            NpbBenchmark::Mg,
+            NpbClass::B,
+            NodeKind::Bx2b,
+            Paradigm::OpenMp,
+            4,
+            V71,
+        );
+        let mpi4 = gflops_per_cpu(
+            NpbBenchmark::Mg,
+            NpbClass::B,
+            NodeKind::Bx2b,
+            Paradigm::Mpi,
+            4,
+            V71,
+        );
         assert!(omp4 > 0.9 * mpi4, "omp4={omp4} mpi4={mpi4}");
-        let omp256 = gflops_per_cpu(NpbBenchmark::Mg, NpbClass::B, NodeKind::Bx2b, Paradigm::OpenMp, 256, V71);
-        let mpi256 = gflops_per_cpu(NpbBenchmark::Mg, NpbClass::B, NodeKind::Bx2b, Paradigm::Mpi, 256, V71);
+        let omp256 = gflops_per_cpu(
+            NpbBenchmark::Mg,
+            NpbClass::B,
+            NodeKind::Bx2b,
+            Paradigm::OpenMp,
+            256,
+            V71,
+        );
+        let mpi256 = gflops_per_cpu(
+            NpbBenchmark::Mg,
+            NpbClass::B,
+            NodeKind::Bx2b,
+            Paradigm::Mpi,
+            256,
+            V71,
+        );
         assert!(mpi256 > omp256, "omp256={omp256} mpi256={mpi256}");
     }
 
@@ -213,10 +315,16 @@ mod tests {
     fn compiler_study_shapes() {
         use CompilerVersion::*;
         // Fig. 8 panels, all on BX2b OpenMP.
-        let run = |bench, v, t| gflops_per_cpu(bench, NpbClass::B, NodeKind::Bx2b, Paradigm::OpenMp, t, v);
+        let run = |bench, v, t| {
+            gflops_per_cpu(bench, NpbClass::B, NodeKind::Bx2b, Paradigm::OpenMp, t, v)
+        };
         // CG: all compilers similar.
-        let cg: Vec<f64> = CompilerVersion::ALL.iter().map(|&v| run(NpbBenchmark::Cg, v, 16)).collect();
-        let spread = cg.iter().fold(0.0f64, |m, &x| m.max(x)) / cg.iter().fold(f64::MAX, |m, &x| m.min(x));
+        let cg: Vec<f64> = CompilerVersion::ALL
+            .iter()
+            .map(|&v| run(NpbBenchmark::Cg, v, 16))
+            .collect();
+        let spread =
+            cg.iter().fold(0.0f64, |m, &x| m.max(x)) / cg.iter().fold(f64::MAX, |m, &x| m.min(x));
         assert!(spread < 1.05, "CG spread {spread}");
         // FT: 9.0b best.
         assert!(run(NpbBenchmark::Ft, V9_0Beta, 16) > run(NpbBenchmark::Ft, V8_0, 16));

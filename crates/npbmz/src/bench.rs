@@ -16,6 +16,7 @@ use columbia_runtime::exec::{execute, ExecConfig, SpecOp, WorkloadSpec};
 use columbia_runtime::pinning::Pinning;
 use columbia_runtime::placement::{Placement, PlacementStrategy};
 use columbia_simnet::fabric::MptVersion;
+use columbia_simnet::{FaultPlan, FaultStats, SimError};
 
 use crate::balance::{bin_pack, Assignment};
 use crate::zones::{even_zones, uneven_zones, MzClass, Zone};
@@ -100,6 +101,8 @@ pub struct MzRunConfig {
     pub mpt: MptVersion,
     /// Pinning discipline.
     pub pinning: Pinning,
+    /// Faults active during the run ([`FaultPlan::none`] = healthy).
+    pub faults: FaultPlan,
 }
 
 impl MzRunConfig {
@@ -115,6 +118,7 @@ impl MzRunConfig {
             inter: InterNodeFabric::NumaLink4,
             mpt: MptVersion::Beta,
             pinning: Pinning::Pinned,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -138,6 +142,8 @@ pub struct MzOutcome {
     pub gflops_per_cpu: f64,
     /// Zone-to-rank load imbalance of the run.
     pub imbalance: f64,
+    /// Fault activity observed during the run (all zeros when healthy).
+    pub faults: FaultStats,
 }
 
 /// Build the per-rank workload spec for one configuration.
@@ -167,15 +173,23 @@ pub fn build_spec(cfg: &MzRunConfig) -> (WorkloadSpec, Assignment) {
                 .iter()
                 .map(|&id| zones[id].face_bytes_x() + zones[id].face_bytes_y())
                 .sum();
-            push_halo(ops, r, cfg.procs, 1, (boundary / 2).max(64), step as u64 * 10);
+            push_halo(
+                ops,
+                r,
+                cfg.procs,
+                1,
+                (boundary / 2).max(64),
+                step as u64 * 10,
+            );
             ops.push(SpecOp::Barrier);
         }
     }
     (spec, assign)
 }
 
-/// Execute one configuration on the simulator.
-pub fn run(cfg: &MzRunConfig) -> MzOutcome {
+/// Execute one configuration on the simulator, or surface the run's
+/// typed [`SimError`] diagnosis.
+pub fn run(cfg: &MzRunConfig) -> Result<MzOutcome, SimError> {
     let cluster = ClusterConfig::uniform(cfg.kind, cfg.nodes);
     let nodes: Vec<NodeId> = (0..cfg.nodes).map(NodeId).collect();
     let placement = Placement::new(
@@ -194,8 +208,9 @@ pub fn run(cfg: &MzRunConfig) -> MzOutcome {
         placement,
         compiler: CompilerVersion::V7_1,
         pinning: cfg.pinning,
+        faults: cfg.faults.clone(),
     };
-    let out = execute(&spec, &exec_cfg);
+    let out = execute(&spec, &exec_cfg)?;
     // The §4.6.2 released-MPT InfiniBand anomaly. The paper could not
     // explain it mechanistically ("we are actively working with SGI
     // engineers to find the true cause"), so we carry it as an
@@ -211,15 +226,15 @@ pub fn run(cfg: &MzRunConfig) -> MzOutcome {
         1.0
     };
     let seconds_per_step = out.makespan * anomaly / SIM_STEPS as f64;
-    let total_flops_per_step =
-        cfg.class.total_points() as f64 * cfg.bench.flops_per_point();
+    let total_flops_per_step = cfg.class.total_points() as f64 * cfg.bench.flops_per_point();
     let total_gflops = total_flops_per_step / seconds_per_step / 1.0e9;
-    MzOutcome {
+    Ok(MzOutcome {
         seconds_per_step,
         total_gflops,
         gflops_per_cpu: total_gflops / cfg.total_cpus() as f64,
         imbalance: assign.imbalance(),
-    }
+        faults: out.faults,
+    })
 }
 
 /// Result of the real class-S multi-zone mini-run.
@@ -252,7 +267,10 @@ pub fn run_real(bench: MzBenchmark) -> MzRealResult {
     let class = MzClass::S;
     let zones = bench.zones(class);
     let ((zx, _), _) = class.layout();
-    let coeffs = LuSgsCoeffs { diag: 7.0, off: 1.0 };
+    let coeffs = LuSgsCoeffs {
+        diag: 7.0,
+        off: 1.0,
+    };
     let mut fields: Vec<Grid3> = zones
         .iter()
         .map(|z| Grid3::zeros(z.ni, z.nj, z.nk))
@@ -328,6 +346,11 @@ pub fn run_real(bench: MzBenchmark) -> MzRealResult {
 mod tests {
     use super::*;
 
+    /// Healthy-machine shorthand: these figure sweeps must never fail.
+    fn run(cfg: &MzRunConfig) -> MzOutcome {
+        super::run(cfg).unwrap()
+    }
+
     #[test]
     fn real_mini_runs_verify() {
         for bench in [MzBenchmark::BtMz, MzBenchmark::SpMz] {
@@ -341,9 +364,8 @@ mod tests {
         // Fig. 9, left panel: "for a given number of OpenMP threads,
         // MPI scales very well, almost linearly up to the point where
         // load imbalancing becomes a problem."
-        let g = |procs| {
-            run(&MzRunConfig::new(MzBenchmark::BtMz, MzClass::C, procs, 1)).total_gflops
-        };
+        let g =
+            |procs| run(&MzRunConfig::new(MzBenchmark::BtMz, MzClass::C, procs, 1)).total_gflops;
         let g16 = g(16);
         let g64 = g(64);
         assert!(g64 > 3.0 * g16, "g16={g16} g64={g64}");
@@ -354,7 +376,13 @@ mod tests {
         // Fig. 9, right panel: "OpenMP performance drops quickly as the
         // number of threads increases" (beyond 2).
         let g = |threads| {
-            run(&MzRunConfig::new(MzBenchmark::BtMz, MzClass::C, 16, threads)).total_gflops
+            run(&MzRunConfig::new(
+                MzBenchmark::BtMz,
+                MzClass::C,
+                16,
+                threads,
+            ))
+            .total_gflops
         };
         let eff8 = g(8) / (4.0 * g(2));
         assert!(eff8 < 0.9, "8-thread efficiency vs 2-thread {eff8}");
@@ -388,7 +416,11 @@ mod tests {
         unpinned.threads = 1;
         let tp1 = run(&pinned).seconds_per_step;
         let tu1 = run(&unpinned).seconds_per_step;
-        assert!(tu1 < 1.15 * tp1, "process mode unpinned/pinned = {}", tu1 / tp1);
+        assert!(
+            tu1 < 1.15 * tp1,
+            "process mode unpinned/pinned = {}",
+            tu1 / tp1
+        );
     }
 
     #[test]

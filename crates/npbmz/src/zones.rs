@@ -179,10 +179,10 @@ pub fn uneven_zones(class: MzClass) -> Vec<Zone> {
     }
     let mut zones = Vec::with_capacity(zx * zy);
     for y in 0..zy {
-        for x in 0..zx {
+        for (x, &ni) in widths.iter().enumerate() {
             zones.push(Zone {
                 id: y * zx + x,
-                ni: widths[x],
+                ni,
                 nj: split_even(gy, zy, y),
                 nk: gz,
             });

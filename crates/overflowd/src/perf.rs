@@ -27,6 +27,7 @@ use columbia_runtime::exec::{execute, ExecConfig, SpecOp, WorkloadSpec};
 use columbia_runtime::pinning::Pinning;
 use columbia_runtime::placement::{Placement, PlacementStrategy};
 use columbia_simnet::fabric::MptVersion;
+use columbia_simnet::{FaultPlan, SimError};
 
 /// Flops per point per step (RHS + pipelined LU-SGS sweeps).
 pub const FLOPS_PER_POINT: f64 = 1500.0;
@@ -107,8 +108,7 @@ fn spec_for(system: &GridSystem, cfg: &OverflowConfig) -> WorkloadSpec {
     let grouping = group_blocks(system, cfg.procs);
     let total_fringe: u64 = system.blocks.iter().map(|b| b.fringe_points()).sum();
     let boundary_total = total_fringe as f64 * BOUNDARY_BYTES_PER_FRINGE_POINT;
-    let bytes_per_pair =
-        ((boundary_total / (cfg.procs * cfg.procs.max(2)) as f64) as u64).max(64);
+    let bytes_per_pair = ((boundary_total / (cfg.procs * cfg.procs.max(2)) as f64) as u64).max(64);
     // The serial per-step cost, expressed as flops so clock, cache and
     // compiler treatment apply to it too.
     let serial_flops = STEP_SERIAL_SECONDS_3700 * 6.0e9 * 0.045;
@@ -137,8 +137,9 @@ fn spec_for(system: &GridSystem, cfg: &OverflowConfig) -> WorkloadSpec {
     spec
 }
 
-/// Simulate one configuration, returning per-step times.
-pub fn step_times(cfg: &OverflowConfig) -> StepTimes {
+/// Simulate one configuration, returning per-step times or the typed
+/// [`SimError`] a failed run diagnoses itself with.
+pub fn step_times(cfg: &OverflowConfig) -> Result<StepTimes, SimError> {
     assert!(cfg.procs >= 1 && cfg.threads >= 1 && cfg.nodes >= 1);
     let system = rotor_wake(1.0);
     assert!(
@@ -151,10 +152,10 @@ pub fn step_times(cfg: &OverflowConfig) -> StepTimes {
     // paper's Table 6 layout); single-node runs pack densely, staying
     // under the boot cpuset unless the full 512 are requested.
     let spread = (cfg.total_cpus() as u32).div_ceil(cfg.nodes);
-    let cap = if cfg.total_cpus() % 512 == 0 {
+    let cap = if cfg.total_cpus().is_multiple_of(512) {
         512
     } else {
-        spread.min(508).max(1)
+        spread.clamp(1, 508)
     };
     let strategy = if cap == 512 {
         PlacementStrategy::Dense
@@ -171,8 +172,9 @@ pub fn step_times(cfg: &OverflowConfig) -> StepTimes {
         placement,
         compiler: cfg.compiler,
         pinning: Pinning::Pinned,
+        faults: FaultPlan::none(),
     };
-    let out = execute(&spec, &exec_cfg);
+    let out = execute(&spec, &exec_cfg)?;
     const SIM_STEPS: f64 = 2.0;
     let mut comm = out.mean_comm() / SIM_STEPS;
     let exec = out.makespan / SIM_STEPS;
@@ -182,12 +184,17 @@ pub fn step_times(cfg: &OverflowConfig) -> StepTimes {
     if cfg.nodes > 1 && cfg.inter == InterNodeFabric::InfiniBand {
         comm *= 0.80;
     }
-    StepTimes { comm, exec }
+    Ok(StepTimes { comm, exec })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Healthy-machine shorthand: these table sweeps must never fail.
+    fn step_times(cfg: &OverflowConfig) -> StepTimes {
+        super::step_times(cfg).unwrap()
+    }
 
     fn t3(kind: NodeKind, cpus: usize) -> StepTimes {
         step_times(&OverflowConfig::table3(kind, cpus))
@@ -284,9 +291,19 @@ mod tests {
         };
         let nl = mk(InterNodeFabric::NumaLink4);
         let ib = mk(InterNodeFabric::InfiniBand);
-        assert!(ib.exec > nl.exec, "NL4 total must win: {} vs {}", nl.exec, ib.exec);
+        assert!(
+            ib.exec > nl.exec,
+            "NL4 total must win: {} vs {}",
+            nl.exec,
+            ib.exec
+        );
         assert!(ib.exec < 1.6 * nl.exec, "but not by a large factor");
-        assert!(ib.comm < nl.comm, "reported comm reverses: {} vs {}", ib.comm, nl.comm);
+        assert!(
+            ib.comm < nl.comm,
+            "reported comm reverses: {} vs {}",
+            ib.comm,
+            nl.comm
+        );
     }
 
     #[test]
@@ -310,7 +327,12 @@ mod tests {
             inter: InterNodeFabric::NumaLink4,
             compiler: CompilerVersion::V8_1,
         });
-        assert!(two.exec < 1.25 * one.exec, "one={} two={}", one.exec, two.exec);
+        assert!(
+            two.exec < 1.25 * one.exec,
+            "one={} two={}",
+            one.exec,
+            two.exec
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl OversetPair {
             blocks,
             fields: [Grid3::zeros(n, n, n), Grid3::zeros(n, n, n)],
             rhs,
-            coeffs: LuSgsCoeffs { diag: 7.0, off: 1.0 },
+            coeffs: LuSgsCoeffs {
+                diag: 7.0,
+                off: 1.0,
+            },
         }
     }
 

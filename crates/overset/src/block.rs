@@ -24,7 +24,9 @@ impl Bbox {
 
     /// Volume.
     pub fn volume(&self) -> f64 {
-        (0..3).map(|a| (self.max[a] - self.min[a]).max(0.0)).product()
+        (0..3)
+            .map(|a| (self.max[a] - self.min[a]).max(0.0))
+            .product()
     }
 }
 
@@ -129,9 +131,18 @@ mod tests {
 
     #[test]
     fn bbox_overlap_and_containment() {
-        let a = Bbox { min: [0.0; 3], max: [1.0; 3] };
-        let b = Bbox { min: [0.5, 0.5, 0.5], max: [2.0; 3] };
-        let c = Bbox { min: [1.5, 0.0, 0.0], max: [2.0, 1.0, 1.0] };
+        let a = Bbox {
+            min: [0.0; 3],
+            max: [1.0; 3],
+        };
+        let b = Bbox {
+            min: [0.5, 0.5, 0.5],
+            max: [2.0; 3],
+        };
+        let c = Bbox {
+            min: [1.5, 0.0, 0.0],
+            max: [2.0, 1.0, 1.0],
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));

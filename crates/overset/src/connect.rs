@@ -59,9 +59,9 @@ pub fn find_donor(donor: &Block, p: [f64; 3]) -> Option<DonorStencil> {
     let mut weights = [0.0; 8];
     for (b, w) in weights.iter_mut().enumerate() {
         let mut wt = 1.0;
-        for a in 0..3 {
+        for (a, &f) in frac.iter().enumerate() {
             let bit = (b >> a) & 1;
-            wt *= if bit == 1 { frac[a] } else { 1.0 - frac[a] };
+            wt *= if bit == 1 { f } else { 1.0 - f };
         }
         *w = wt;
     }

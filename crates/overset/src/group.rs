@@ -75,8 +75,7 @@ pub fn group_blocks(system: &GridSystem, ngroups: usize) -> Grouping {
                 }
             }
         }
-        let g = best_connected
-            .unwrap_or_else(|| (0..ngroups).min_by_key(|&g| load[g]).unwrap());
+        let g = best_connected.unwrap_or_else(|| (0..ngroups).min_by_key(|&g| load[g]).unwrap());
         owner[b] = g;
         load[g] += pts;
         groups[g].push(b);
@@ -84,10 +83,7 @@ pub fn group_blocks(system: &GridSystem, ngroups: usize) -> Grouping {
 
     // Internalized connectivity.
     let pairs = system.overlapping_pairs();
-    let internal = pairs
-        .iter()
-        .filter(|(i, j)| owner[*i] == owner[*j])
-        .count();
+    let internal = pairs.iter().filter(|(i, j)| owner[*i] == owner[*j]).count();
     Grouping {
         groups,
         load,
@@ -116,10 +112,7 @@ pub fn group_blocks_load_only(system: &GridSystem, ngroups: usize) -> Grouping {
         groups[g].push(b);
     }
     let pairs = system.overlapping_pairs();
-    let internal = pairs
-        .iter()
-        .filter(|(i, j)| owner[*i] == owner[*j])
-        .count();
+    let internal = pairs.iter().filter(|(i, j)| owner[*i] == owner[*j]).count();
     Grouping {
         groups,
         load,

@@ -62,7 +62,11 @@ pub fn turbopump(scale: f64) -> GridSystem {
         let ring = 30.0;
         let theta = (i % 30) as f64 / ring * std::f64::consts::TAU;
         let r = 10.0;
-        let c = [r * theta.cos(), r * theta.sin(), axial + (i / 30) as f64 * 0.8];
+        let c = [
+            r * theta.cos(),
+            r * theta.sin(),
+            axial + (i / 30) as f64 * 0.8,
+        ];
         let half = [1.3, 1.3, 0.9];
         blocks.push(Block {
             id: i,

@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn overflowd_71_advantage_fades_at_64_procs() {
         let small = V7_1.factor(LuSgs, 32) / V8_1.factor(LuSgs, 32);
-        assert!(small >= 1.2 && small <= 1.4, "ratio={small}");
+        assert!((1.2..=1.4).contains(&small), "ratio={small}");
         let large = V7_1.factor(LuSgs, 128) / V8_1.factor(LuSgs, 128);
         assert!((large - 1.0).abs() < 0.01);
     }
@@ -244,6 +244,9 @@ mod tests {
                 worst += 1;
             }
         }
-        assert!(worst >= 5, "8.0 should be worst in most cases, was in {worst}");
+        assert!(
+            worst >= 5,
+            "8.0 should be worst in most cases, was in {worst}"
+        );
     }
 }

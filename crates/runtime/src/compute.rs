@@ -48,7 +48,13 @@ pub struct WorkPhase {
 
 impl WorkPhase {
     /// A phase with the default application serial fraction.
-    pub fn new(flops: f64, mem_bytes: f64, working_set: u64, efficiency: f64, kernel: KernelClass) -> Self {
+    pub fn new(
+        flops: f64,
+        mem_bytes: f64,
+        working_set: u64,
+        efficiency: f64,
+        kernel: KernelClass,
+    ) -> Self {
         WorkPhase {
             flops,
             mem_bytes,
@@ -119,7 +125,15 @@ impl NodeComputeModel {
 
     /// Pinned, dense, default-compiler model — the common baseline.
     pub fn baseline(node: NodeModel, units: u32) -> Self {
-        NodeComputeModel::new(node, CompilerVersion::V7_1, Pinning::Pinned, units, units, 2.0, false)
+        NodeComputeModel::new(
+            node,
+            CompilerVersion::V7_1,
+            Pinning::Pinned,
+            units,
+            units,
+            2.0,
+            false,
+        )
     }
 
     /// The node this model costs work on.
@@ -254,8 +268,24 @@ mod tests {
 
     #[test]
     fn strided_placement_speeds_memory_phase() {
-        let dense = NodeComputeModel::new(bx2b(), CompilerVersion::V7_1, Pinning::Pinned, 1, 1, 2.0, false);
-        let strided = NodeComputeModel::new(bx2b(), CompilerVersion::V7_1, Pinning::Pinned, 1, 1, 1.0, false);
+        let dense = NodeComputeModel::new(
+            bx2b(),
+            CompilerVersion::V7_1,
+            Pinning::Pinned,
+            1,
+            1,
+            2.0,
+            false,
+        );
+        let strided = NodeComputeModel::new(
+            bx2b(),
+            CompilerVersion::V7_1,
+            Pinning::Pinned,
+            1,
+            1,
+            1.0,
+            false,
+        );
         let gain = dense.seconds(&mem_phase(), 1) / strided.seconds(&mem_phase(), 1);
         assert!((gain - 1.9).abs() < 0.05, "gain={gain}");
     }
@@ -280,14 +310,32 @@ mod tests {
         let t8 = m.seconds(&phase, 8);
         let speedup = t1 / t8;
         let ideal = 1.0 / (0.1 + 0.9 / 8.0);
-        assert!((speedup - ideal).abs() / ideal < 0.05, "speedup={speedup} ideal={ideal}");
+        assert!(
+            (speedup - ideal).abs() / ideal < 0.05,
+            "speedup={speedup} ideal={ideal}"
+        );
     }
 
     #[test]
     fn unpinned_thread_teams_pay_on_memory() {
-        let pinned = NodeComputeModel::new(bx2b(), CompilerVersion::V7_1, Pinning::Pinned, 32, 128, 2.0, false);
-        let unpinned =
-            NodeComputeModel::new(bx2b(), CompilerVersion::V7_1, Pinning::Unpinned, 32, 128, 2.0, false);
+        let pinned = NodeComputeModel::new(
+            bx2b(),
+            CompilerVersion::V7_1,
+            Pinning::Pinned,
+            32,
+            128,
+            2.0,
+            false,
+        );
+        let unpinned = NodeComputeModel::new(
+            bx2b(),
+            CompilerVersion::V7_1,
+            Pinning::Unpinned,
+            32,
+            128,
+            2.0,
+            false,
+        );
         let ratio = unpinned.seconds(&mem_phase(), 32) / pinned.seconds(&mem_phase(), 32);
         assert!(ratio > 1.5, "ratio={ratio}");
         // Compute-bound work is unaffected by pinning.
@@ -297,16 +345,48 @@ mod tests {
 
     #[test]
     fn boot_cpuset_costs_10_to_15_pct() {
-        let clean = NodeComputeModel::new(bx2b(), CompilerVersion::V7_1, Pinning::Pinned, 1, 1, 2.0, false);
-        let dirty = NodeComputeModel::new(bx2b(), CompilerVersion::V7_1, Pinning::Pinned, 1, 1, 2.0, true);
+        let clean = NodeComputeModel::new(
+            bx2b(),
+            CompilerVersion::V7_1,
+            Pinning::Pinned,
+            1,
+            1,
+            2.0,
+            false,
+        );
+        let dirty = NodeComputeModel::new(
+            bx2b(),
+            CompilerVersion::V7_1,
+            Pinning::Pinned,
+            1,
+            1,
+            2.0,
+            true,
+        );
         let ratio = dirty.seconds(&cpu_phase(), 1) / clean.seconds(&cpu_phase(), 1);
         assert!(ratio > 1.10 && ratio < 1.16, "ratio={ratio}");
     }
 
     #[test]
     fn compiler_factor_feeds_through() {
-        let v71 = NodeComputeModel::new(bx2b(), CompilerVersion::V7_1, Pinning::Pinned, 64, 64, 2.0, false);
-        let v80 = NodeComputeModel::new(bx2b(), CompilerVersion::V8_0, Pinning::Pinned, 64, 64, 2.0, false);
+        let v71 = NodeComputeModel::new(
+            bx2b(),
+            CompilerVersion::V7_1,
+            Pinning::Pinned,
+            64,
+            64,
+            2.0,
+            false,
+        );
+        let v80 = NodeComputeModel::new(
+            bx2b(),
+            CompilerVersion::V8_0,
+            Pinning::Pinned,
+            64,
+            64,
+            2.0,
+            false,
+        );
         let phase = WorkPhase::new(1.0e10, 1.0e6, 100 * 1024, 0.2, KernelClass::Fourier);
         assert!(v80.seconds(&phase, 1) > v71.seconds(&phase, 1));
     }

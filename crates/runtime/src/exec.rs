@@ -10,8 +10,12 @@
 //! configured fabric.
 
 use columbia_machine::cluster::{ClusterConfig, InterNodeFabric, NodeId};
-use columbia_simnet::engine::{simulate, Op, SimOutcome};
+use columbia_simnet::engine::{simulate_with_faults, Op, SimOutcome};
 use columbia_simnet::fabric::{ClusterFabric, MptVersion};
+use columbia_simnet::fault::{
+    ConnectionLimit, ConnectionPolicy, FaultPlan, DEFAULT_MULTIPLEX_QUEUE_PENALTY,
+};
+use columbia_simnet::SimError;
 
 use crate::compiler::CompilerVersion;
 use crate::compute::{NodeComputeModel, WorkPhase};
@@ -112,17 +116,15 @@ pub struct ExecConfig {
     pub compiler: CompilerVersion,
     /// Pinning discipline.
     pub pinning: Pinning,
+    /// Faults active during the run (drops, link/CPU degradation,
+    /// connection limits); [`FaultPlan::none`] for a healthy machine.
+    pub faults: FaultPlan,
 }
 
 impl ExecConfig {
     /// Baseline single-node config: dense placement, pinned, compiler
     /// 7.1 — the defaults used for most of the paper's measurements.
-    pub fn single_node(
-        cluster: ClusterConfig,
-        node: NodeId,
-        ranks: usize,
-        threads: usize,
-    ) -> Self {
+    pub fn single_node(cluster: ClusterConfig, node: NodeId, ranks: usize, threads: usize) -> Self {
         let placement = Placement::single_node(
             &cluster,
             node,
@@ -138,6 +140,7 @@ impl ExecConfig {
             placement,
             compiler: CompilerVersion::V7_1,
             pinning: Pinning::Pinned,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -172,19 +175,45 @@ impl ExecConfig {
             self.placement.boot_cpuset_overlap,
         )
     }
+
+    /// The fault plan to simulate under: the configured plan, with the
+    /// paper's §2 InfiniBand connection limit filled in automatically
+    /// for multi-node IB runs that did not set one. The default policy
+    /// multiplexes (graceful degradation) rather than failing, matching
+    /// how MPT actually behaves when contexts run short.
+    fn effective_faults(&self) -> FaultPlan {
+        let mut plan = self.faults.clone();
+        if plan.connection_limit.is_none()
+            && self.inter == InterNodeFabric::InfiniBand
+            && self.nodes.len() > 1
+        {
+            plan.connection_limit = Some(ConnectionLimit {
+                cards_per_node: self.cluster.ib_cards_per_node,
+                connections_per_card: self.cluster.ib_connections_per_card,
+                policy: ConnectionPolicy::Multiplex {
+                    queue_penalty: DEFAULT_MULTIPLEX_QUEUE_PENALTY,
+                },
+            });
+        }
+        plan
+    }
 }
 
 /// Execute `spec` under `cfg`, returning per-rank timelines.
 ///
-/// Panics if the spec's rank count does not match the placement, and
-/// propagates a simulated deadlock as a panic with the stuck ranks
-/// (a malformed workload generator is a bug, not a runtime condition).
-pub fn execute(spec: &WorkloadSpec, cfg: &ExecConfig) -> SimOutcome {
-    assert_eq!(
-        spec.nranks(),
-        cfg.placement.ranks(),
-        "spec ranks must match placement ranks"
-    );
+/// Every failure mode is a typed [`SimError`]: a spec whose rank count
+/// disagrees with the placement is a [`SimError::PlacementMismatch`], a
+/// malformed workload that deadlocks comes back as
+/// [`SimError::Deadlock`] with per-rank diagnostics, and fault plans
+/// can surface [`SimError::ConnectionsExhausted`] or
+/// [`SimError::WatchdogTimeout`].
+pub fn execute(spec: &WorkloadSpec, cfg: &ExecConfig) -> Result<SimOutcome, SimError> {
+    if spec.nranks() != cfg.placement.ranks() {
+        return Err(SimError::PlacementMismatch {
+            programs: spec.nranks(),
+            placements: cfg.placement.ranks(),
+        });
+    }
     let threads = cfg.placement.threads() as u32;
     let programs: Vec<Vec<Op>> = spec
         .ranks
@@ -223,8 +252,8 @@ pub fn execute(spec: &WorkloadSpec, cfg: &ExecConfig) -> SimOutcome {
         })
         .collect();
     let fabric = cfg.fabric();
-    simulate(&programs, &cfg.placement.rank_cpus(), &fabric)
-        .unwrap_or_else(|d| panic!("workload generator produced a deadlocked program: {d}"))
+    let plan = cfg.effective_faults();
+    simulate_with_faults(&programs, &cfg.placement.rank_cpus(), &fabric, &plan)
 }
 
 #[cfg(test)]
@@ -252,7 +281,7 @@ mod tests {
         for r in &mut spec.ranks {
             r.push(SpecOp::Work(phase()));
         }
-        let out = execute(&spec, &cfg(4, 1));
+        let out = execute(&spec, &cfg(4, 1)).unwrap();
         assert_eq!(out.ranks.len(), 4);
         assert!(out.makespan > 0.0);
         // Identical work ⇒ near-identical finish times.
@@ -275,7 +304,7 @@ mod tests {
                 r.push(SpecOp::Work(p));
                 r.push(SpecOp::Barrier);
             }
-            execute(&spec, &cfg(n, 1)).makespan
+            execute(&spec, &cfg(n, 1)).unwrap().makespan
         };
         let t8 = run(8);
         let t32 = run(32);
@@ -295,7 +324,7 @@ mod tests {
                 tag: (r.min(partner)) as u64,
             });
         }
-        let out = execute(&spec, &cfg(n, 1));
+        let out = execute(&spec, &cfg(n, 1)).unwrap();
         assert!(out.ranks.iter().all(|r| r.comm > 0.0));
     }
 
@@ -305,25 +334,60 @@ mod tests {
         for r in &mut spec.ranks {
             r.push(SpecOp::Work(phase()));
         }
-        let t1 = execute(&spec, &cfg(4, 1)).makespan;
-        let t4 = execute(&spec, &cfg(4, 4)).makespan;
+        let t1 = execute(&spec, &cfg(4, 1)).unwrap().makespan;
+        let t4 = execute(&spec, &cfg(4, 4)).unwrap().makespan;
         assert!(t4 < t1, "t1={t1} t4={t4}");
         assert!(t4 > t1 / 4.0, "thread scaling can't be super-linear here");
     }
 
     #[test]
-    #[should_panic(expected = "spec ranks must match")]
-    fn rank_mismatch_panics() {
+    fn rank_mismatch_is_a_typed_error() {
         let spec = WorkloadSpec::with_ranks(3);
-        execute(&spec, &cfg(4, 1));
+        let err = execute(&spec, &cfg(4, 1)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::PlacementMismatch {
+                programs: 3,
+                placements: 4
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "deadlocked")]
-    fn deadlock_panics_with_diagnosis() {
+    fn deadlock_is_reported_with_diagnosis() {
         let mut spec = WorkloadSpec::with_ranks(2);
         spec.ranks[0].push(SpecOp::Recv { from: 1, tag: 0 });
         spec.ranks[1].push(SpecOp::Recv { from: 0, tag: 0 });
-        execute(&spec, &cfg(2, 1));
+        let err = execute(&spec, &cfg(2, 1)).unwrap_err();
+        assert_eq!(err.stuck_ranks(), vec![0, 1]);
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn fault_plan_inflates_makespan() {
+        let mk = |plan: FaultPlan| {
+            let n = 8;
+            let mut spec = WorkloadSpec::with_ranks(n);
+            for (r, prog) in spec.ranks.iter_mut().enumerate() {
+                prog.push(SpecOp::Work(phase()));
+                prog.push(SpecOp::Send {
+                    to: (r + 1) % n,
+                    bytes: 65536,
+                    tag: 1,
+                });
+                prog.push(SpecOp::Recv {
+                    from: (r + n - 1) % n,
+                    tag: 1,
+                });
+            }
+            let mut c = cfg(n, 1);
+            c.faults = plan;
+            execute(&spec, &c).unwrap()
+        };
+        let clean = mk(FaultPlan::none());
+        let faulted = mk(FaultPlan::with_drops(3, 0.5));
+        assert!(faulted.makespan >= clean.makespan);
+        assert!(faulted.faults.dropped_messages > 0);
+        assert!(!clean.faults.any());
     }
 }

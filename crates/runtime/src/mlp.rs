@@ -16,19 +16,34 @@ use columbia_machine::node::NodeModel;
 #[derive(Debug, Clone, Copy)]
 pub struct MlpModel {
     node: NodeModel,
+    /// Fault-injected stretch on arena traffic (≥ 1; 1 = healthy).
+    slowdown: f64,
 }
 
 impl MlpModel {
     /// MLP on the given node flavour.
     pub fn new(node: NodeModel) -> Self {
-        MlpModel { node }
+        MlpModel {
+            node,
+            slowdown: 1.0,
+        }
+    }
+
+    /// The same model on degraded shared memory: arena copies take
+    /// `factor`× longer (a slow brick's router stretches every remote
+    /// reference). Group barriers stretch with it, since they ride the
+    /// same links.
+    pub fn with_slowdown(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slowdown must not speed the arena up");
+        self.slowdown = factor;
+        self
     }
 
     /// Seconds to archive `bytes` of boundary data into the shared
     /// arena (one memcpy at processor-bound shared-memory speed).
     pub fn arena_write(&self, bytes: u64) -> f64 {
         let bw = self.node.processor.clock_ghz * calib::SHM_COPY_BYTES_PER_GHZ;
-        bytes as f64 / bw
+        self.slowdown * bytes as f64 / bw
     }
 
     /// Seconds to read a neighbour's boundary data back out.
@@ -44,7 +59,7 @@ impl MlpModel {
         }
         // A cache-line ping per tree level; remote line transfer is a
         // hop-latency-scale event.
-        (groups as f64).log2().ceil() * 2.0 * calib::NUMALINK_HOP_LATENCY
+        self.slowdown * (groups as f64).log2().ceil() * 2.0 * calib::NUMALINK_HOP_LATENCY
     }
 
     /// Full boundary-exchange cost for a group: write own boundary,
@@ -92,5 +107,19 @@ mod tests {
         let slow = MlpModel::new(NodeModel::new(NodeKind::Altix3700));
         let fast = MlpModel::new(NodeModel::new(NodeKind::Bx2b));
         assert!(fast.arena_write(1 << 20) < slow.arena_write(1 << 20));
+    }
+
+    #[test]
+    fn slowdown_stretches_the_whole_exchange() {
+        let healthy = MlpModel::new(NodeModel::new(NodeKind::Bx2b));
+        let degraded = healthy.with_slowdown(3.0);
+        let (h, d) = (
+            healthy.exchange(16, 1 << 20, 1 << 20),
+            degraded.exchange(16, 1 << 20, 1 << 20),
+        );
+        assert!((d - 3.0 * h).abs() / h < 1e-12, "h={h} d={d}");
+        // A unit slowdown is exactly the healthy model.
+        let unit = healthy.with_slowdown(1.0);
+        assert_eq!(unit.exchange(16, 1 << 20, 1 << 20), h);
     }
 }

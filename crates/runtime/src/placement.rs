@@ -59,7 +59,7 @@ impl Placement {
                 (k, 512)
             }
             PlacementStrategy::DenseCapped(cap) => {
-                assert!(cap >= 1 && cap <= 512, "cap must be in 1..=512");
+                assert!((1..=512).contains(&cap), "cap must be in 1..=512");
                 (1, cap)
             }
         };
@@ -253,6 +253,9 @@ mod tests {
         let c = cluster();
         let p = Placement::single_node(&c, NodeId(0), 3, 4, PlacementStrategy::Dense);
         let homes = p.rank_cpus();
-        assert_eq!(homes, vec![CpuId::new(0, 0), CpuId::new(0, 4), CpuId::new(0, 8)]);
+        assert_eq!(
+            homes,
+            vec![CpuId::new(0, 0), CpuId::new(0, 4), CpuId::new(0, 8)]
+        );
     }
 }

@@ -147,7 +147,12 @@ mod tests {
                 cpus.push(CpuId::new(node, c));
             }
         }
-        let nl = ClusterFabric::new(cfg.clone(), InterNodeFabric::NumaLink4, MptVersion::Beta, 128);
+        let nl = ClusterFabric::new(
+            cfg.clone(),
+            InterNodeFabric::NumaLink4,
+            MptVersion::Beta,
+            128,
+        );
         let ib = ClusterFabric::new(cfg, InterNodeFabric::InfiniBand, MptVersion::Beta, 128);
         let t_nl = alltoall(&nl, &cpus, 8192);
         let t_ib = alltoall(&ib, &cpus, 8192);
@@ -163,7 +168,12 @@ mod tests {
                 cpus.push(CpuId::new(node, c));
             }
         }
-        let beta = ClusterFabric::new(cfg.clone(), InterNodeFabric::InfiniBand, MptVersion::Beta, 256);
+        let beta = ClusterFabric::new(
+            cfg.clone(),
+            InterNodeFabric::InfiniBand,
+            MptVersion::Beta,
+            256,
+        );
         let rel = ClusterFabric::new(cfg, InterNodeFabric::InfiniBand, MptVersion::Released, 256);
         assert!(alltoall(&rel, &cpus, 8192) > alltoall(&beta, &cpus, 8192));
     }

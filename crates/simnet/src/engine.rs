@@ -10,16 +10,29 @@
 //! The scheduler is a worklist over blocked ranks, so arbitrary
 //! (deadlock-free) send/recv orders simulate correctly — including the
 //! pipelined LU-SGS wavefronts and ring exchanges the workloads emit.
-//! A genuine deadlock (cycle of receives with no matching sends) is
-//! reported as an error naming the stuck ranks, which the test suite
-//! exercises.
+//! Failures are structured [`SimError`]s: a genuine deadlock (cycle of
+//! receives with no matching sends) is diagnosed per rank with its
+//! program counter and pending operation, a placement mismatch is
+//! rejected up front, and an event-budget watchdog guards against
+//! livelock.
+//!
+//! [`simulate_with_faults`] additionally runs the program under a
+//! [`FaultPlan`]: messages may be dropped and retransmitted with
+//! exponential backoff, links degraded, CPUs slowed, and the §2
+//! InfiniBand connection limit enforced — gracefully multiplexing (a
+//! queuing penalty per inter-node message) or failing with
+//! [`SimError::ConnectionsExhausted`] depending on the plan's policy.
+//! The fault path is bit-identical to the plain path under
+//! [`FaultPlan::none`].
 
 use std::collections::{HashMap, VecDeque};
 
 use columbia_machine::cluster::CpuId;
 
 use crate::collectives;
+use crate::error::{DeadlockReport, PendingOp, SimError};
 use crate::fabric::Fabric;
+use crate::fault::{ConnectionPolicy, FaultPlan, FaultStats, FaultyFabric};
 
 /// Per-CPU cost of initiating a send (library call + injection), well
 /// under the wire latency; folded out of `Fabric::latency` so overlap
@@ -50,6 +63,17 @@ pub enum Op {
     Bcast { root: usize, bytes: u64 },
 }
 
+impl Op {
+    /// The peer this op blocks on, if it names one.
+    fn waiting_on(&self) -> Option<usize> {
+        match self {
+            Op::Recv { from, .. } => Some(*from),
+            Op::Exchange { with, .. } => Some(*with),
+            _ => None,
+        }
+    }
+}
+
 /// Timeline of one rank after simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RankResult {
@@ -68,6 +92,9 @@ pub struct SimOutcome {
     pub ranks: Vec<RankResult>,
     /// Completion time of the slowest rank — the measured wall clock.
     pub makespan: f64,
+    /// Fault activity observed during the run (all zeros for a
+    /// fault-free plan).
+    pub faults: FaultStats,
 }
 
 impl SimOutcome {
@@ -85,21 +112,6 @@ impl SimOutcome {
         self.ranks.iter().map(|r| r.comm).fold(0.0, f64::max)
     }
 }
-
-/// Simulation error: a communication cycle that can never complete.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Deadlock {
-    /// Ranks whose next operation can never be satisfied.
-    pub stuck_ranks: Vec<usize>,
-}
-
-impl std::fmt::Display for Deadlock {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "simulated communication deadlock; stuck ranks: {:?}", self.stuck_ranks)
-    }
-}
-
-impl std::error::Error for Deadlock {}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct MsgKey {
@@ -120,19 +132,99 @@ struct RankState {
 /// Simulate `programs` (one per rank) placed on `cpus` over `fabric`.
 ///
 /// `cpus[r]` is the physical CPU of rank `r`; programs and placement
-/// must have equal length. Returns per-rank timelines or a
-/// [`Deadlock`] diagnosis.
+/// must have equal length. Returns per-rank timelines or a structured
+/// [`SimError`].
 pub fn simulate(
     programs: &[Vec<Op>],
     cpus: &[CpuId],
     fabric: &dyn Fabric,
-) -> Result<SimOutcome, Deadlock> {
-    assert_eq!(
-        programs.len(),
-        cpus.len(),
-        "one CPU placement per rank program"
-    );
+) -> Result<SimOutcome, SimError> {
+    simulate_with_faults(programs, cpus, fabric, &FaultPlan::none())
+}
+
+/// Connections node-local `procs` ranks need for full pure-MPI
+/// connectivity across `n_nodes` nodes: `p²(n−1)` (§2).
+fn connections_required(procs: usize, n_nodes: usize) -> u64 {
+    (procs as u64).pow(2) * (n_nodes as u64 - 1)
+}
+
+/// Check the placement against the plan's connection limit. Returns the
+/// per-inter-node-message queuing delay (0.0 when within budget or no
+/// limit), the worst oversubscription ratio, or the exhaustion error.
+fn connection_check(cpus: &[CpuId], plan: &FaultPlan) -> Result<(f64, f64), SimError> {
+    let Some(limit) = &plan.connection_limit else {
+        return Ok((0.0, 0.0));
+    };
+    let mut per_node: HashMap<u32, usize> = HashMap::new();
+    for c in cpus {
+        *per_node.entry(c.node.0).or_insert(0) += 1;
+    }
+    let n_nodes = per_node.len();
+    if n_nodes < 2 {
+        return Ok((0.0, 0.0));
+    }
+    let available = limit.budget();
+    let mut worst_ratio = 0.0f64;
+    // Deterministic iteration: report the lowest-numbered exhausted node.
+    let mut nodes: Vec<(u32, usize)> = per_node.into_iter().collect();
+    nodes.sort_unstable();
+    for (node, procs) in nodes {
+        let required = connections_required(procs, n_nodes);
+        let ratio = required as f64 / available as f64;
+        if required > available {
+            if let ConnectionPolicy::Fail = limit.policy {
+                return Err(SimError::ConnectionsExhausted {
+                    node,
+                    procs_on_node: procs,
+                    required,
+                    available,
+                });
+            }
+        }
+        worst_ratio = worst_ratio.max(ratio);
+    }
+    let delay = match limit.policy {
+        ConnectionPolicy::Multiplex { queue_penalty } if worst_ratio > 1.0 => {
+            queue_penalty * (worst_ratio - 1.0)
+        }
+        _ => 0.0,
+    };
+    Ok((delay, worst_ratio))
+}
+
+/// Simulate `programs` under a [`FaultPlan`].
+///
+/// Identical to [`simulate`] when the plan is [`FaultPlan::none`] —
+/// bit-for-bit, a property the test suite asserts. Faults only ever
+/// *delay* the timeline (drops, degraded links, multiplexed
+/// connections, slow CPUs); structural failures surface as [`SimError`]
+/// variants.
+pub fn simulate_with_faults(
+    programs: &[Vec<Op>],
+    cpus: &[CpuId],
+    base_fabric: &dyn Fabric,
+    plan: &FaultPlan,
+) -> Result<SimOutcome, SimError> {
+    if programs.len() != cpus.len() {
+        return Err(SimError::PlacementMismatch {
+            programs: programs.len(),
+            placements: cpus.len(),
+        });
+    }
+    let (mux_delay, oversubscription) = connection_check(cpus, plan)?;
+    let faulty = FaultyFabric::new(base_fabric, plan);
+    let fabric: &dyn Fabric = &faulty;
+
     let n = programs.len();
+    let total_ops: usize = programs.iter().map(Vec::len).sum();
+    let event_budget = plan
+        .event_budget
+        .unwrap_or_else(|| 10_000 + 64 * total_ops as u64);
+    let mut stats = FaultStats {
+        oversubscription,
+        ..FaultStats::default()
+    };
+
     let mut states: Vec<RankState> = (0..n)
         .map(|_| RankState {
             pc: 0,
@@ -145,44 +237,89 @@ pub fn simulate(
     // In-flight messages: arrival times keyed by (from, to, tag); FIFO
     // per key preserves MPI ordering semantics.
     let mut mailbox: HashMap<MsgKey, VecDeque<f64>> = HashMap::new();
-    // Collective rendezvous: seq -> (op fingerprint, ranks arrived).
+    // Per-key send sequence numbers: the message identity fault
+    // sampling keys off (schedule-independent).
+    let mut send_seq: HashMap<MsgKey, u64> = HashMap::new();
+    // Collective rendezvous: seq -> ranks arrived.
     let mut coll_arrivals: HashMap<usize, Vec<usize>> = HashMap::new();
 
     let mut runnable: VecDeque<usize> = (0..n).collect();
     let mut in_queue = vec![true; n];
 
+    // Posts one message and returns its arrival time at the receiver,
+    // applying drop/retransmit and multiplex delays; also charges the
+    // sender. Shared by Send and the send half of Exchange.
+    let post_send = |states: &mut Vec<RankState>,
+                     mailbox: &mut HashMap<MsgKey, VecDeque<f64>>,
+                     send_seq: &mut HashMap<MsgKey, u64>,
+                     stats: &mut FaultStats,
+                     r: usize,
+                     to: usize,
+                     bytes: u64,
+                     tag: u64| {
+        let cost = fabric.pt2pt_time(cpus[r], cpus[to], bytes);
+        let key = MsgKey { from: r, to, tag };
+        let seq = send_seq.entry(key).or_insert(0);
+        let drops = plan.drops_for_message(r, to, tag, *seq);
+        *seq += 1;
+        let mut arrival = states[r].clock + cost;
+        if drops > 0 {
+            let delay = plan.retransmit_delay(drops);
+            arrival += delay;
+            stats.dropped_messages += 1;
+            stats.drop_events += drops as u64;
+            stats.retransmit_delay += delay;
+        }
+        if mux_delay > 0.0 && cpus[r].node != cpus[to].node {
+            arrival += mux_delay;
+            stats.multiplexed_messages += 1;
+            stats.multiplex_delay += mux_delay;
+        }
+        mailbox.entry(key).or_default().push_back(arrival);
+        // The sender re-injects once per retransmission.
+        let overhead = SEND_CPU_OVERHEAD * (drops + 1) as f64;
+        states[r].clock += overhead;
+        states[r].comm += overhead;
+    };
+
     // Each pop executes at least one op or blocks; total ops bound the
-    // work, so this terminates.
+    // work, so this terminates — and the event budget catches any
+    // livelock regression in the scheduler itself.
+    let mut events: u64 = 0;
     while let Some(r) = runnable.pop_front() {
         in_queue[r] = false;
-        loop {
-            let Some(op) = programs[r].get(states[r].pc) else {
-                break;
-            };
+        while let Some(op) = programs[r].get(states[r].pc) {
+            events += 1;
+            if events > event_budget {
+                return Err(SimError::WatchdogTimeout {
+                    events,
+                    budget: event_budget,
+                });
+            }
             match op {
                 Op::Compute(secs) => {
+                    let secs = secs * plan.compute_factor(cpus[r]);
                     states[r].clock += secs;
                     states[r].compute += secs;
                     states[r].pc += 1;
                 }
                 Op::Send { to, bytes, tag } => {
-                    let cost = fabric.pt2pt_time(cpus[r], cpus[*to], *bytes);
-                    let arrival = states[r].clock + cost;
-                    mailbox
-                        .entry(MsgKey {
-                            from: r,
-                            to: *to,
-                            tag: *tag,
-                        })
-                        .or_default()
-                        .push_back(arrival);
-                    states[r].clock += SEND_CPU_OVERHEAD;
-                    states[r].comm += SEND_CPU_OVERHEAD;
+                    let to = *to;
+                    post_send(
+                        &mut states,
+                        &mut mailbox,
+                        &mut send_seq,
+                        &mut stats,
+                        r,
+                        to,
+                        *bytes,
+                        *tag,
+                    );
                     states[r].pc += 1;
                     // The receiver may now be unblocked.
-                    if !in_queue[*to] {
-                        runnable.push_back(*to);
-                        in_queue[*to] = true;
+                    if !in_queue[to] {
+                        runnable.push_back(to);
+                        in_queue[to] = true;
                     }
                 }
                 Op::Recv { from, tag } => {
@@ -217,17 +354,16 @@ pub fn simulate(
                         .map(|q| q.pop_front().is_some())
                         .unwrap_or(false);
                     if !already_sent {
-                        let cost = fabric.pt2pt_time(cpus[r], cpus[w], b);
-                        mailbox
-                            .entry(MsgKey {
-                                from: r,
-                                to: w,
-                                tag: t,
-                            })
-                            .or_default()
-                            .push_back(states[r].clock + cost);
-                        states[r].clock += SEND_CPU_OVERHEAD;
-                        states[r].comm += SEND_CPU_OVERHEAD;
+                        post_send(
+                            &mut states,
+                            &mut mailbox,
+                            &mut send_seq,
+                            &mut stats,
+                            r,
+                            w,
+                            b,
+                            t,
+                        );
                         if !in_queue[w] {
                             runnable.push_back(w);
                             in_queue[w] = true;
@@ -267,7 +403,9 @@ pub fn simulate(
                             Op::AllToAll { bytes_per_pair } => {
                                 collectives::alltoall(fabric, cpus, *bytes_per_pair)
                             }
-                            Op::Bcast { root: _, bytes } => collectives::bcast(fabric, cpus, *bytes),
+                            Op::Bcast { root: _, bytes } => {
+                                collectives::bcast(fabric, cpus, *bytes)
+                            }
                             _ => unreachable!(),
                         };
                         let end = start + cost;
@@ -291,15 +429,28 @@ pub fn simulate(
             }
         }
     }
+    stats.events = events;
 
-    if states.iter().enumerate().any(|(r, s)| s.pc < programs[r].len()) {
-        let stuck: Vec<usize> = states
+    if states
+        .iter()
+        .enumerate()
+        .any(|(r, s)| s.pc < programs[r].len())
+    {
+        let stuck: Vec<PendingOp> = states
             .iter()
             .enumerate()
             .filter(|(r, s)| s.pc < programs[*r].len())
-            .map(|(r, _)| r)
+            .map(|(r, s)| {
+                let op = programs[r][s.pc].clone();
+                PendingOp {
+                    rank: r,
+                    pc: s.pc,
+                    waiting_on: op.waiting_on(),
+                    op,
+                }
+            })
             .collect();
-        return Err(Deadlock { stuck_ranks: stuck });
+        return Err(SimError::Deadlock(DeadlockReport { stuck }));
     }
 
     let ranks: Vec<RankResult> = states
@@ -311,7 +462,11 @@ pub fn simulate(
         })
         .collect();
     let makespan = ranks.iter().map(|r| r.total).fold(0.0, f64::max);
-    Ok(SimOutcome { ranks, makespan })
+    Ok(SimOutcome {
+        ranks,
+        makespan,
+        faults: stats,
+    })
 }
 
 /// Tag used by the marker message-to-self that records a half-done
@@ -326,7 +481,8 @@ const HALF_EXCHANGE_BIT: u64 = 1 << 63;
 mod tests {
     use super::*;
     use crate::fabric::ClusterFabric;
-    use columbia_machine::cluster::ClusterConfig;
+    use crate::fault::{ConnectionLimit, ConnectionPolicy};
+    use columbia_machine::cluster::{ClusterConfig, InterNodeFabric, NodeId};
     use columbia_machine::node::NodeKind;
 
     fn fabric() -> ClusterFabric {
@@ -345,12 +501,20 @@ mod tests {
         assert!((out.ranks[1].total - 2.0).abs() < 1e-12);
         assert!((out.makespan - 2.0).abs() < 1e-12);
         assert_eq!(out.ranks[0].comm, 0.0);
+        assert!(!out.faults.any());
     }
 
     #[test]
     fn recv_waits_for_matching_send() {
         let progs = vec![
-            vec![Op::Compute(1.0), Op::Send { to: 1, bytes: 0, tag: 7 }],
+            vec![
+                Op::Compute(1.0),
+                Op::Send {
+                    to: 1,
+                    bytes: 0,
+                    tag: 7,
+                },
+            ],
             vec![Op::Recv { from: 0, tag: 7 }],
         ];
         let out = simulate(&progs, &place(2), &fabric()).unwrap();
@@ -362,7 +526,11 @@ mod tests {
     #[test]
     fn send_before_recv_also_matches() {
         let progs = vec![
-            vec![Op::Send { to: 1, bytes: 1024, tag: 1 }],
+            vec![Op::Send {
+                to: 1,
+                bytes: 1024,
+                tag: 1,
+            }],
             vec![Op::Compute(0.5), Op::Recv { from: 0, tag: 1 }],
         ];
         let out = simulate(&progs, &place(2), &fabric()).unwrap();
@@ -374,8 +542,16 @@ mod tests {
     fn messages_with_same_tag_preserve_order() {
         let progs = vec![
             vec![
-                Op::Send { to: 1, bytes: 1 << 20, tag: 0 },
-                Op::Send { to: 1, bytes: 0, tag: 0 },
+                Op::Send {
+                    to: 1,
+                    bytes: 1 << 20,
+                    tag: 0,
+                },
+                Op::Send {
+                    to: 1,
+                    bytes: 0,
+                    tag: 0,
+                },
             ],
             vec![Op::Recv { from: 0, tag: 0 }, Op::Recv { from: 0, tag: 0 }],
         ];
@@ -410,8 +586,16 @@ mod tests {
             let right = (r + 1) % n;
             let left = (r + n - 1) % n;
             let tag = |a: usize, b: usize| 100 + a.min(b) as u64 * 7 + a.max(b) as u64;
-            let ex_right = Op::Exchange { with: right, bytes: 4096, tag: tag(r, right) };
-            let ex_left = Op::Exchange { with: left, bytes: 4096, tag: tag(r, left) };
+            let ex_right = Op::Exchange {
+                with: right,
+                bytes: 4096,
+                tag: tag(r, right),
+            };
+            let ex_left = Op::Exchange {
+                with: left,
+                bytes: 4096,
+                tag: tag(r, left),
+            };
             progs.push(if r % 2 == 0 {
                 vec![ex_right, ex_left]
             } else {
@@ -426,22 +610,36 @@ mod tests {
     #[test]
     fn alltoall_costs_more_with_more_bytes() {
         let mk = |bytes| {
-            let progs: Vec<Vec<Op>> = (0..16).map(|_| vec![Op::AllToAll { bytes_per_pair: bytes }]).collect();
+            let progs: Vec<Vec<Op>> = (0..16)
+                .map(|_| {
+                    vec![Op::AllToAll {
+                        bytes_per_pair: bytes,
+                    }]
+                })
+                .collect();
             simulate(&progs, &place(16), &fabric()).unwrap().makespan
         };
         assert!(mk(1 << 16) > mk(1 << 8));
     }
 
     #[test]
-    fn deadlock_is_detected_and_named() {
+    fn deadlock_is_detected_and_diagnosed() {
         // Two ranks each waiting for a message never sent.
         let progs = vec![
             vec![Op::Recv { from: 1, tag: 0 }],
             vec![Op::Recv { from: 0, tag: 0 }],
         ];
         let err = simulate(&progs, &place(2), &fabric()).unwrap_err();
-        assert_eq!(err.stuck_ranks, vec![0, 1]);
+        assert_eq!(err.stuck_ranks(), vec![0, 1]);
         assert!(err.to_string().contains("deadlock"));
+        let SimError::Deadlock(report) = err else {
+            panic!("expected a deadlock, got {err:?}");
+        };
+        // Each stuck rank names its pc, pending op, and peer.
+        assert_eq!(report.stuck[0].pc, 0);
+        assert_eq!(report.stuck[0].op, Op::Recv { from: 1, tag: 0 });
+        assert_eq!(report.stuck[0].waiting_on, Some(1));
+        assert_eq!(report.stuck[1].waiting_on, Some(0));
     }
 
     #[test]
@@ -454,11 +652,18 @@ mod tests {
         for r in 0..n {
             let mut p = Vec::new();
             if r > 0 {
-                p.push(Op::Recv { from: r - 1, tag: 42 });
+                p.push(Op::Recv {
+                    from: r - 1,
+                    tag: 42,
+                });
             }
             p.push(Op::Compute(stage));
             if r + 1 < n {
-                p.push(Op::Send { to: r + 1, bytes: 8192, tag: 42 });
+                p.push(Op::Send {
+                    to: r + 1,
+                    bytes: 8192,
+                    tag: 42,
+                });
             }
             progs.push(p);
         }
@@ -468,8 +673,219 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one CPU placement per rank")]
-    fn mismatched_placement_panics() {
-        let _ = simulate(&[vec![Op::Compute(1.0)]], &place(2), &fabric());
+    fn mismatched_placement_is_a_typed_error() {
+        let err = simulate(&[vec![Op::Compute(1.0)]], &place(2), &fabric()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::PlacementMismatch {
+                programs: 1,
+                placements: 2
+            }
+        );
+        assert!(err
+            .to_string()
+            .contains("one CPU placement per rank program"));
+    }
+
+    // ---- fault-plan behaviour ----
+
+    /// A ring of send/recv pairs with some compute, n ranks.
+    fn ring_progs(n: usize, bytes: u64) -> Vec<Vec<Op>> {
+        (0..n)
+            .map(|r| {
+                vec![
+                    Op::Compute(1e-4),
+                    Op::Send {
+                        to: (r + 1) % n,
+                        bytes,
+                        tag: 1,
+                    },
+                    Op::Recv {
+                        from: (r + n - 1) % n,
+                        tag: 1,
+                    },
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical() {
+        let progs = ring_progs(8, 65536);
+        let base = simulate(&progs, &place(8), &fabric()).unwrap();
+        let planned =
+            simulate_with_faults(&progs, &place(8), &fabric(), &FaultPlan::none()).unwrap();
+        assert_eq!(base, planned);
+    }
+
+    #[test]
+    fn drops_inflate_makespan_monotonically() {
+        let progs = ring_progs(16, 1 << 16);
+        let mk = |p: f64| {
+            simulate_with_faults(&progs, &place(16), &fabric(), &FaultPlan::with_drops(11, p))
+                .unwrap()
+        };
+        let clean = mk(0.0);
+        let mut prev = clean.makespan;
+        for p in [0.01, 0.05, 0.2, 0.5] {
+            let out = mk(p);
+            assert!(out.makespan >= prev, "p={p}: {} < {prev}", out.makespan);
+            prev = out.makespan;
+        }
+        // At 50% drop probability some message must have been dropped
+        // and its retransmission delay must show in the stats.
+        let heavy = mk(0.5);
+        assert!(heavy.faults.dropped_messages > 0);
+        assert!(heavy.faults.retransmit_delay > 0.0);
+        assert!(heavy.makespan > clean.makespan);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let progs = ring_progs(12, 4096);
+        let a = simulate_with_faults(
+            &progs,
+            &place(12),
+            &fabric(),
+            &FaultPlan::with_drops(5, 0.3),
+        )
+        .unwrap();
+        let b = simulate_with_faults(
+            &progs,
+            &place(12),
+            &fabric(),
+            &FaultPlan::with_drops(5, 0.3),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slow_cpu_stretches_its_compute() {
+        let progs = vec![vec![Op::Compute(1.0)], vec![Op::Compute(1.0)]];
+        let plan = FaultPlan::none().slow_cpu(CpuId::new(0, 1), 2.5);
+        let out = simulate_with_faults(&progs, &place(2), &fabric(), &plan).unwrap();
+        assert!((out.ranks[0].total - 1.0).abs() < 1e-12);
+        assert!((out.ranks[1].total - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_link_slows_cross_node_traffic_only() {
+        let cfg = ClusterConfig::uniform(NodeKind::Bx2b, 2);
+        let f = ClusterFabric::new(
+            cfg,
+            InterNodeFabric::NumaLink4,
+            crate::fabric::MptVersion::Beta,
+            4,
+        );
+        let cpus = vec![
+            CpuId::new(0, 0),
+            CpuId::new(0, 1),
+            CpuId::new(1, 0),
+            CpuId::new(1, 1),
+        ];
+        let progs = ring_progs(4, 1 << 20);
+        let clean = simulate_with_faults(&progs, &cpus, &f, &FaultPlan::none()).unwrap();
+        let plan = FaultPlan::none().degrade_link(NodeId(0), NodeId(1), 4.0, 0.25);
+        let slow = simulate_with_faults(&progs, &cpus, &f, &plan).unwrap();
+        assert!(slow.makespan > clean.makespan);
+    }
+
+    #[test]
+    fn watchdog_fires_on_tiny_budget() {
+        let progs = ring_progs(8, 1024);
+        let plan = FaultPlan::none().with_event_budget(3);
+        let err = simulate_with_faults(&progs, &place(8), &fabric(), &plan).unwrap_err();
+        let SimError::WatchdogTimeout { events, budget } = err else {
+            panic!("expected watchdog, got {err:?}");
+        };
+        assert_eq!(budget, 3);
+        assert!(events > budget);
+    }
+
+    #[test]
+    fn watchdog_budget_allows_normal_runs() {
+        let progs = ring_progs(8, 1024);
+        // Generous budget: the run completes and reports its events.
+        let plan = FaultPlan::none().with_event_budget(10_000);
+        let out = simulate_with_faults(&progs, &place(8), &fabric(), &plan).unwrap();
+        assert!(out.faults.events > 0);
+        assert!(out.faults.events <= 10_000);
+    }
+
+    fn two_node_fabric_and_cpus(per_node: u32) -> (ClusterFabric, Vec<CpuId>) {
+        let cfg = ClusterConfig::uniform(NodeKind::Bx2b, 2);
+        let f = ClusterFabric::new(
+            cfg,
+            InterNodeFabric::InfiniBand,
+            crate::fabric::MptVersion::Beta,
+            per_node * 2,
+        );
+        let cpus: Vec<CpuId> = (0..per_node * 2)
+            .map(|i| CpuId::new(i / per_node, i % per_node))
+            .collect();
+        (f, cpus)
+    }
+
+    #[test]
+    fn connection_exhaustion_fails_under_fail_policy() {
+        let (f, cpus) = two_node_fabric_and_cpus(8);
+        // 8 procs/node over 2 nodes need 8² = 64 connections; allow 32.
+        let plan = FaultPlan::none().with_connection_limit(ConnectionLimit {
+            cards_per_node: 1,
+            connections_per_card: 32,
+            policy: ConnectionPolicy::Fail,
+        });
+        let progs = ring_progs(16, 4096);
+        let err = simulate_with_faults(&progs, &cpus, &f, &plan).unwrap_err();
+        let SimError::ConnectionsExhausted {
+            procs_on_node,
+            required,
+            available,
+            ..
+        } = err
+        else {
+            panic!("expected exhaustion, got {err:?}");
+        };
+        assert_eq!(procs_on_node, 8);
+        assert_eq!(required, 64);
+        assert_eq!(available, 32);
+    }
+
+    #[test]
+    fn connection_exhaustion_multiplexes_gracefully() {
+        let (f, cpus) = two_node_fabric_and_cpus(8);
+        let progs = ring_progs(16, 4096);
+        let clean = simulate_with_faults(&progs, &cpus, &f, &FaultPlan::none()).unwrap();
+        let plan = FaultPlan::none().with_connection_limit(ConnectionLimit {
+            cards_per_node: 1,
+            connections_per_card: 32,
+            policy: ConnectionPolicy::Multiplex {
+                queue_penalty: 2.0e-6,
+            },
+        });
+        let muxed = simulate_with_faults(&progs, &cpus, &f, &plan).unwrap();
+        assert!(muxed.faults.multiplexed_messages > 0);
+        assert!(muxed.faults.multiplex_delay > 0.0);
+        assert!(muxed.faults.oversubscription > 1.0);
+        assert!(muxed.makespan > clean.makespan);
+    }
+
+    #[test]
+    fn within_budget_placement_pays_no_multiplex_penalty() {
+        let (f, cpus) = two_node_fabric_and_cpus(4);
+        // 4 procs/node need 16 connections; budget 1024 — plenty.
+        let plan = FaultPlan::none().with_connection_limit(ConnectionLimit {
+            cards_per_node: 1,
+            connections_per_card: 1024,
+            policy: ConnectionPolicy::Multiplex {
+                queue_penalty: 2.0e-6,
+            },
+        });
+        let progs = ring_progs(8, 4096);
+        let out = simulate_with_faults(&progs, &cpus, &f, &plan).unwrap();
+        assert_eq!(out.faults.multiplexed_messages, 0);
+        assert!(out.faults.oversubscription <= 1.0);
+        assert!(out.faults.oversubscription > 0.0);
     }
 }

@@ -92,7 +92,12 @@ pub struct ClusterFabric {
 
 impl ClusterFabric {
     /// Fabric over `config` using `inter` between nodes.
-    pub fn new(config: ClusterConfig, inter: InterNodeFabric, mpt: MptVersion, total_cpus: u32) -> Self {
+    pub fn new(
+        config: ClusterConfig,
+        inter: InterNodeFabric,
+        mpt: MptVersion,
+        total_cpus: u32,
+    ) -> Self {
         ClusterFabric {
             config,
             inter,
@@ -181,8 +186,8 @@ impl Fabric for ClusterFabric {
         }
         match self.inter {
             InterNodeFabric::NumaLink4 => {
-                let memcpy =
-                    self.config.node_model(src.node).processor.clock_ghz * calib::SHM_COPY_BYTES_PER_GHZ;
+                let memcpy = self.config.node_model(src.node).processor.clock_ghz
+                    * calib::SHM_COPY_BYTES_PER_GHZ;
                 (calib::NUMALINK4_BANDWIDTH * calib::NUMALINK_MPI_FRACTION)
                     .min(memcpy * calib::SHM_COPY_LINK_CAP)
             }
@@ -210,7 +215,8 @@ impl Fabric for ClusterFabric {
                 let first = cpus[0].node;
                 let off = cpus.iter().filter(|c| c.node != first).count() as u32;
                 let flows = (off.min(p as u32 - off)).max(1) * 2;
-                return calib::INFINIBAND_BANDWIDTH / self.internode_contention(flows)
+                return calib::INFINIBAND_BANDWIDTH
+                    / self.internode_contention(flows)
                     / self.mpt.ib_penalty(self.total_cpus);
             }
         };
@@ -275,7 +281,12 @@ mod tests {
     #[test]
     fn infiniband_latency_penalty_vs_numalink4() {
         let cfg = bx2b_cluster(4);
-        let nl = ClusterFabric::new(cfg.clone(), InterNodeFabric::NumaLink4, MptVersion::Beta, 2048);
+        let nl = ClusterFabric::new(
+            cfg.clone(),
+            InterNodeFabric::NumaLink4,
+            MptVersion::Beta,
+            2048,
+        );
         let ib = ClusterFabric::new(cfg, InterNodeFabric::InfiniBand, MptVersion::Beta, 2048);
         let a = cpu(0, 10);
         let b = cpu(1, 20);
@@ -295,7 +306,9 @@ mod tests {
     #[test]
     fn released_mpt_penalizes_ib_only() {
         assert!((MptVersion::Beta.ib_penalty(256) - 1.0).abs() < 1e-12);
-        assert!((MptVersion::Released.ib_penalty(256) - calib::MPT_RELEASED_IB_PENALTY).abs() < 1e-12);
+        assert!(
+            (MptVersion::Released.ib_penalty(256) - calib::MPT_RELEASED_IB_PENALTY).abs() < 1e-12
+        );
         // Penalty decays with CPU count (paper: IB improves at scale).
         assert!(MptVersion::Released.ib_penalty(1024) < MptVersion::Released.ib_penalty(256));
         assert!(MptVersion::Released.ib_penalty(2048) > 1.0);
@@ -304,7 +317,12 @@ mod tests {
     #[test]
     fn ib_contention_much_worse_than_numalink() {
         let cfg = bx2b_cluster(4);
-        let nl = ClusterFabric::new(cfg.clone(), InterNodeFabric::NumaLink4, MptVersion::Beta, 2048);
+        let nl = ClusterFabric::new(
+            cfg.clone(),
+            InterNodeFabric::NumaLink4,
+            MptVersion::Beta,
+            2048,
+        );
         let ib = ClusterFabric::new(cfg, InterNodeFabric::InfiniBand, MptVersion::Beta, 2048);
         let flows = 512;
         assert!(ib.internode_contention(flows) > 5.0 * nl.internode_contention(flows));

@@ -17,15 +17,29 @@
 //!   broadcast, and all-to-all, shared by the engine;
 //! * [`patterns`] — the HPCC `b_eff` communication patterns (ping-pong,
 //!   natural ring, random ring) including the statistical contention
-//!   model for bisection-crossing flows.
+//!   model for bisection-crossing flows;
+//! * [`fault`] — seeded fault-injection plans ([`fault::FaultPlan`])
+//!   that drop messages (with timeout + exponential-backoff
+//!   retransmission), degrade or fail links, slow CPUs, and enforce the
+//!   §2 InfiniBand per-card connection limit with graceful multiplexing;
+//! * [`error`] — the typed [`error::SimError`] every failure surfaces
+//!   as, including a per-rank [`error::DeadlockReport`].
 //!
 //! All randomness is seeded; a simulation is a pure function of its
-//! inputs.
+//! inputs — including fault injection, which is keyed off stable message
+//! identities rather than schedule order.
 
 pub mod collectives;
 pub mod engine;
+pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod patterns;
 
-pub use engine::{simulate, Op, RankResult, SimOutcome};
+pub use engine::{simulate, simulate_with_faults, Op, RankResult, SimOutcome};
+pub use error::{DeadlockReport, PendingOp, SimError};
 pub use fabric::{ClusterFabric, Fabric, MptVersion};
+pub use fault::{
+    ConnectionLimit, ConnectionPolicy, CpuSlowdown, FaultPlan, FaultStats, FaultyFabric, LinkFault,
+    LinkState, RetransmitPolicy,
+};

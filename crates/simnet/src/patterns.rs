@@ -204,7 +204,12 @@ mod tests {
         // the random ring.
         let cfg = ClusterConfig::uniform(NodeKind::Bx2b, 4);
         let cpus = spread(4, 256);
-        let nl = ClusterFabric::new(cfg.clone(), InterNodeFabric::NumaLink4, MptVersion::Beta, 1024);
+        let nl = ClusterFabric::new(
+            cfg.clone(),
+            InterNodeFabric::NumaLink4,
+            MptVersion::Beta,
+            1024,
+        );
         let ib = ClusterFabric::new(cfg, InterNodeFabric::InfiniBand, MptVersion::Beta, 1024);
         let bw_nl = random_ring(&nl, &cpus, 3, 11).bandwidth_per_proc;
         let bw_ib = random_ring(&ib, &cpus, 3, 11).bandwidth_per_proc;

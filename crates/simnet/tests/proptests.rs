@@ -3,11 +3,31 @@
 use columbia_machine::cluster::{ClusterConfig, CpuId};
 use columbia_machine::node::NodeKind;
 use columbia_simnet::fabric::{ClusterFabric, Fabric};
-use columbia_simnet::{simulate, Op};
+use columbia_simnet::{simulate, simulate_with_faults, FaultPlan, Op};
 use proptest::prelude::*;
 
 fn fabric() -> ClusterFabric {
     ClusterFabric::single_node(ClusterConfig::uniform(NodeKind::Bx2b, 1))
+}
+
+/// Ring of compute + send/recv, the canonical fault-injection workload.
+fn ring(n: usize, bytes: u64, compute: f64) -> Vec<Vec<Op>> {
+    (0..n)
+        .map(|r| {
+            vec![
+                Op::Compute(compute * (1.0 + r as f64)),
+                Op::Send {
+                    to: (r + 1) % n,
+                    bytes,
+                    tag: 1,
+                },
+                Op::Recv {
+                    from: (r + n - 1) % n,
+                    tag: 1,
+                },
+            ]
+        })
+        .collect()
 }
 
 proptest! {
@@ -102,5 +122,76 @@ proptest! {
         let ab = f.latency(ca, cb);
         let ba = f.latency(cb, ca);
         prop_assert!((ab - ba).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bitwise_identical_to_baseline(
+        n in 2usize..16,
+        bytes in 1u64..1_000_000,
+        compute in 1e-6f64..1e-3,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Whatever the seed, a plan with zero drop probability and no
+        // faults must reproduce the fault-free timeline bit for bit.
+        let programs = ring(n, bytes, compute);
+        let cpus: Vec<CpuId> = (0..n as u32).map(|c| CpuId::new(0, c)).collect();
+        let base = simulate(&programs, &cpus, &fabric()).unwrap();
+        let plan = FaultPlan::with_drops(seed, 0.0);
+        let faulted = simulate_with_faults(&programs, &cpus, &fabric(), &plan).unwrap();
+        prop_assert_eq!(base, faulted);
+    }
+
+    #[test]
+    fn identical_seeds_yield_identical_faulted_runs(
+        n in 2usize..16,
+        bytes in 1u64..1_000_000,
+        seed in 0u64..u64::MAX,
+        drop_prob in 0.0f64..0.9,
+    ) {
+        let programs = ring(n, bytes, 1e-5);
+        let cpus: Vec<CpuId> = (0..n as u32).map(|c| CpuId::new(0, c)).collect();
+        let plan = FaultPlan::with_drops(seed, drop_prob);
+        let a = simulate_with_faults(&programs, &cpus, &fabric(), &plan).unwrap();
+        let b = simulate_with_faults(&programs, &cpus, &fabric(), &plan).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn makespan_is_monotone_in_drop_probability(
+        n in 2usize..12,
+        bytes in 1u64..100_000,
+        seed in 0u64..u64::MAX,
+        p_lo in 0.0f64..0.4,
+        p_extra in 0.0f64..0.5,
+    ) {
+        // For a fixed seed the dropped-prefix of each message is
+        // monotone in the drop probability, so the makespan can only
+        // grow as the fault rate rises.
+        let programs = ring(n, bytes, 1e-5);
+        let cpus: Vec<CpuId> = (0..n as u32).map(|c| CpuId::new(0, c)).collect();
+        let lo = simulate_with_faults(
+            &programs, &cpus, &fabric(), &FaultPlan::with_drops(seed, p_lo),
+        ).unwrap();
+        let hi = simulate_with_faults(
+            &programs, &cpus, &fabric(), &FaultPlan::with_drops(seed, p_lo + p_extra),
+        ).unwrap();
+        prop_assert!(hi.makespan >= lo.makespan);
+        prop_assert!(hi.faults.drop_events >= lo.faults.drop_events);
+    }
+
+    #[test]
+    fn faults_never_shrink_a_run_below_fault_free(
+        n in 2usize..12,
+        seed in 0u64..u64::MAX,
+        drop_prob in 0.0f64..0.9,
+        slowdown in 1.0f64..4.0,
+    ) {
+        let programs = ring(n, 4096, 1e-5);
+        let cpus: Vec<CpuId> = (0..n as u32).map(|c| CpuId::new(0, c)).collect();
+        let base = simulate(&programs, &cpus, &fabric()).unwrap();
+        let plan = FaultPlan::with_drops(seed, drop_prob)
+            .slow_cpu(CpuId::new(0, 0), slowdown);
+        let faulted = simulate_with_faults(&programs, &cpus, &fabric(), &plan).unwrap();
+        prop_assert!(faulted.makespan >= base.makespan);
     }
 }

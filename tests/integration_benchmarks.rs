@@ -1,8 +1,8 @@
 //! Cross-crate integration: real benchmark runs verifying end to end.
 
+use columbia::md::MdSystem;
 use columbia::npb::{bt, cg, ft, mg, NpbClass};
 use columbia::npbmz::bench::{run_real as mz_real, MzBenchmark};
-use columbia::md::MdSystem;
 
 #[test]
 fn all_npb_class_s_real_runs_verify() {

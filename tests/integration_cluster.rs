@@ -2,9 +2,9 @@
 
 use columbia::machine::cluster::{ClusterConfig, CpuId, InterNodeFabric, NodeId};
 use columbia::machine::node::NodeKind;
-use columbia::runtime::exec::{execute, ExecConfig, SpecOp, WorkloadSpec};
-use columbia::runtime::compute::WorkPhase;
 use columbia::runtime::compiler::KernelClass;
+use columbia::runtime::compute::WorkPhase;
+use columbia::runtime::exec::{execute, ExecConfig, SpecOp, WorkloadSpec};
 use columbia::simnet::fabric::{ClusterFabric, Fabric, MptVersion};
 use columbia::simnet::{simulate, Op};
 
@@ -69,6 +69,7 @@ fn executor_spans_the_full_stack() {
         placement,
         compiler: columbia::runtime::compiler::CompilerVersion::V8_1,
         pinning: columbia::runtime::pinning::Pinning::Pinned,
+        faults: columbia::simnet::FaultPlan::none(),
     };
     let mut spec = WorkloadSpec::with_ranks(128);
     for ops in spec.ranks.iter_mut() {
@@ -79,9 +80,11 @@ fn executor_spans_the_full_stack() {
             0.2,
             KernelClass::BlockSolver,
         )));
-        ops.push(SpecOp::AllToAll { bytes_per_pair: 4096 });
+        ops.push(SpecOp::AllToAll {
+            bytes_per_pair: 4096,
+        });
     }
-    let out = execute(&spec, &cfg);
+    let out = execute(&spec, &cfg).unwrap();
     assert!(out.makespan > 0.0);
     assert!(out.mean_comm() > 0.0);
     assert!(out.ranks.iter().all(|r| r.compute > 0.0));

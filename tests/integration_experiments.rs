@@ -36,9 +36,22 @@ fn table2_shape_matches_paper() {
 #[test]
 fn table5_is_weak_scaling_flat() {
     let r = run(Experiment::Table5);
-    let first: f64 = r.rows[0][2].split_whitespace().next().unwrap().parse().unwrap();
-    let last: f64 = r.rows.last().unwrap()[2].split_whitespace().next().unwrap().parse().unwrap();
-    assert!(last < 1.15 * first, "weak scaling must stay flat: {first} → {last}");
+    let first: f64 = r.rows[0][2]
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    let last: f64 = r.rows.last().unwrap()[2]
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        last < 1.15 * first,
+        "weak scaling must stay flat: {first} → {last}"
+    );
 }
 
 #[test]

@@ -1,0 +1,207 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] — backed by a simple wall-clock timer: each benchmark
+//! runs a handful of timed iterations and prints the per-iteration
+//! mean. No statistics, warm-up, or HTML reports.
+
+use std::time::Instant;
+
+/// Opaque value barrier; defers to the compiler intrinsic wrapper in std.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark, e.g. `BenchmarkId::new("run", 64)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    /// Total wall-clock nanoseconds accumulated by `iter`.
+    elapsed_nanos: u128,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_nanos += start.elapsed().as_nanos();
+    }
+}
+
+/// Collection of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the iteration count used for each benchmark in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self.criterion.default_sample_size = self.sample_size;
+        self
+    }
+
+    /// Run a benchmark named `id` (any `Display`, including [`BenchmarkId`]).
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark manager handed to `criterion_group!` target functions.
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.default_sample_size, |b| f(b));
+        self
+    }
+}
+
+fn run_one(label: &str, iters: u64, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        elapsed_nanos: 0,
+    };
+    f(&mut b);
+    let total_iters = b.iters.max(1);
+    let mean_ns = b.elapsed_nanos / total_iters as u128;
+    let mean = if mean_ns >= 1_000_000 {
+        format!("{:.3} ms", mean_ns as f64 / 1e6)
+    } else if mean_ns >= 1_000 {
+        format!("{:.3} us", mean_ns as f64 / 1e3)
+    } else {
+        format!("{} ns", mean_ns)
+    };
+    println!("bench {label:<56} {mean}/iter ({total_iters} iters)");
+}
+
+/// Declare a benchmark group: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(unit_benches, sample_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        unit_benches();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,95 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! Every `par_*` entry point returns the corresponding *sequential*
+//! standard-library iterator, so the full std `Iterator` adapter
+//! vocabulary (`map`, `zip`, `enumerate`, `for_each`, `collect`, …)
+//! works unchanged. Results are identical to rayon's (the workspace
+//! only uses order-insensitive reductions); only wall-clock parallel
+//! speedup is lost, which the performance *model* layers never rely on
+//! (real-kernel benches measure whatever the host executes).
+
+/// Drop-in for `rayon::prelude::*`.
+pub mod prelude {
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Element type.
+        type Item;
+        /// "Parallel" iterator — sequential here.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for rayon's `ParallelSlice`.
+    pub trait ParallelSlice<T> {
+        /// `slice.iter()` under a rayon name.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// `slice.chunks(size)` under a rayon name.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+    }
+
+    /// Sequential stand-in for rayon's `ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// `slice.iter_mut()` under a rayon name.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// `slice.chunks_mut(size)` under a rayon name.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+}
+
+/// `rayon::current_num_threads` equivalent: sequential stub ⇒ 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_adapters_behave_like_std() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let mut w = v.clone();
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4, 5]);
+        let sums: Vec<u32> = w.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![5, 9]);
+    }
+
+    #[test]
+    fn ranges_into_par_iter() {
+        let total: usize = (0..10usize).into_par_iter().map(|i| i * i).sum();
+        assert_eq!(total, 285);
+    }
+}

@@ -1,0 +1,28 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! `Serialize` and `Deserialize` are marker traits blanket-implemented
+//! for every type, and the re-exported derives are no-ops. This keeps
+//! every `#[derive(Serialize, Deserialize)]` in the workspace compiling
+//! (preserving the signatures for a future swap to the real serde)
+//! without a serialization framework; the one place that needs JSON
+//! output (`columbia::report`) renders it by hand.
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket-implemented stand-in for `DeserializeOwned`.
+    pub trait DeserializeOwned {}
+
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros for the offline `serde` stub.
+//!
+//! The companion `serde` stub blanket-implements its marker
+//! `Serialize`/`Deserialize` traits for every type, so the derives
+//! only need to exist (and swallow `#[serde(...)]` attributes); they
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,54 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! The real serde data model is not available offline (the `serde`
+//! stub's derives are no-ops), so this crate only offers the helpers a
+//! hand-rolled JSON renderer needs: correct string escaping per RFC
+//! 8259. Workspace code that used `serde_json::to_string_pretty`
+//! builds its JSON through these helpers instead.
+
+/// Escape `s` as the *contents* of a JSON string (no surrounding quotes).
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `s` as a quoted JSON string literal.
+pub fn quote(s: &str) -> String {
+    format!("\"{}\"", escape_str(s))
+}
+
+/// Render a list of already-rendered JSON values as a JSON array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let inner: Vec<String> = items.into_iter().collect();
+    format!("[{}]", inner.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape_str("\u{01}"), "\\u0001");
+        assert_eq!(quote("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn arrays_join() {
+        assert_eq!(array([quote("x"), "1".to_string()]), "[\"x\",1]");
+    }
+}
