@@ -1,13 +1,44 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro                 # run everything
-//! repro --exp table2    # one experiment
-//! repro --json          # machine-readable output
-//! repro --list          # experiment ids
+//! repro                       # run everything
+//! repro --exp table2          # one experiment
+//! repro --json                # machine-readable output
+//! repro --list                # experiment ids
+//! repro --trace out.json      # capture a Chrome/Perfetto timeline
+//! repro --metrics out.json    # dump fabric counters + CommProfiles
 //! ```
+//!
+//! `--trace` and `--metrics` install the global trace sink
+//! (`columbia_obs::sink`) before running the selected experiments:
+//! every simulation they execute is recorded (per-rank spans, fabric
+//! counters, compute/comm/wait attribution) and exported when the run
+//! finishes. Load the trace file at <https://ui.perfetto.dev> — one
+//! process per simulation, one CPU track and one net track per rank.
 
 use columbia::experiments::{run, Experiment};
+use columbia::obs::{chrome_trace, sink};
+use serde_json::Value;
+
+/// Parse `--flag <value>` out of the argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        _ => {
+            eprintln!("{flag} requires a file path");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,6 +49,8 @@ fn main() {
         }
         return;
     }
+    let trace_path = flag_value(&args, "--trace");
+    let metrics_path = flag_value(&args, "--metrics");
     let selected: Vec<Experiment> = match args.iter().position(|a| a == "--exp") {
         Some(i) => {
             let name = args.get(i + 1).unwrap_or_else(|| {
@@ -34,6 +67,10 @@ fn main() {
         }
         None => Experiment::ALL.to_vec(),
     };
+    let collecting = trace_path.is_some() || metrics_path.is_some();
+    if collecting {
+        sink::install();
+    }
     for exp in selected {
         let report = run(exp);
         if json {
@@ -41,5 +78,33 @@ fn main() {
         } else {
             println!("{}", report.to_text());
         }
+    }
+    if !collecting {
+        return;
+    }
+    let bundles = sink::take();
+    eprintln!("captured {} simulation(s)", bundles.len());
+    if let Some(path) = trace_path {
+        let doc = chrome_trace(&bundles);
+        write_or_die(&path, &serde_json::to_string(&doc));
+    }
+    if let Some(path) = metrics_path {
+        let mut doc = Value::object();
+        doc.set(
+            "sims",
+            Value::Array(
+                bundles
+                    .iter()
+                    .map(|b| {
+                        let mut o = Value::object();
+                        o.set("label", Value::String(b.label.clone()));
+                        o.set("metrics", b.metrics.to_value());
+                        o.set("profile", b.profile.to_value());
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        write_or_die(&path, &serde_json::to_string_pretty(&doc));
     }
 }

@@ -13,13 +13,18 @@ use columbia_md::scaling::{weak_scaling_point, TABLE5_CPUS};
 use columbia_npb::{gflops_per_cpu, NpbBenchmark, NpbClass, Paradigm};
 use columbia_npbmz::bench::{run as mz_run, MzBenchmark, MzOutcome, MzRunConfig};
 use columbia_npbmz::MzClass;
+use columbia_obs::RecordingTracer;
 use columbia_overflowd::{step_times, OverflowConfig};
-use columbia_runtime::compiler::CompilerVersion;
+use columbia_runtime::compiler::{CompilerVersion, KernelClass};
+use columbia_runtime::compute::WorkPhase;
+use columbia_runtime::exec::{execute_traced, ExecConfig, SpecOp, WorkloadSpec};
 use columbia_runtime::pinning::Pinning;
+use columbia_runtime::placement::{Placement, PlacementStrategy};
 use columbia_simnet::fabric::MptVersion;
 use columbia_simnet::fault::DEFAULT_MULTIPLEX_QUEUE_PENALTY;
 use columbia_simnet::{ConnectionLimit, ConnectionPolicy, FaultPlan, SimError};
 
+use crate::obs_report::hotspot_report;
 use crate::report::{gbs, gf, secs, Report};
 
 /// Every table and figure of the paper's evaluation.
@@ -57,11 +62,14 @@ pub enum Experiment {
     Table6,
     /// Fault injection: graceful degradation under a seeded fault plan.
     Degraded,
+    /// Tracing demo: a faulted multi-node run captured by the
+    /// observability layer, rendered as a per-rank hotspot table.
+    Trace,
 }
 
 impl Experiment {
     /// All experiments in paper order.
-    pub const ALL: [Experiment; 16] = [
+    pub const ALL: [Experiment; 17] = [
         Experiment::Table1,
         Experiment::Fig5,
         Experiment::DgemmStream,
@@ -78,6 +86,7 @@ impl Experiment {
         Experiment::Table5,
         Experiment::Table6,
         Experiment::Degraded,
+        Experiment::Trace,
     ];
 
     /// CLI name.
@@ -99,11 +108,18 @@ impl Experiment {
             Experiment::Table5 => "table5",
             Experiment::Table6 => "table6",
             Experiment::Degraded => "degraded",
+            Experiment::Trace => "trace",
         }
     }
 
-    /// Parse a CLI name.
+    /// Parse a CLI name. Accepts a few benchmark-flavoured aliases for
+    /// the figures people look for by workload name.
     pub fn parse(s: &str) -> Option<Experiment> {
+        match s {
+            // BT-MZ process/thread combinations are Fig. 9.
+            "bt_mz" | "bt-mz" => return Some(Experiment::Fig9),
+            _ => {}
+        }
         Experiment::ALL.iter().copied().find(|e| e.name() == s)
     }
 }
@@ -128,6 +144,7 @@ pub fn try_run(exp: Experiment) -> Result<Report, SimError> {
         Experiment::Table5 => table5(),
         Experiment::Table6 => table6(),
         Experiment::Degraded => degraded(),
+        Experiment::Trace => trace(),
     }
 }
 
@@ -701,6 +718,76 @@ fn degraded() -> Result<Report, SimError> {
     Ok(r)
 }
 
+/// Observability demo: a deliberately imbalanced halo-exchange workload
+/// (16 ranks split across two BX2b nodes over InfiniBand, seeded drops)
+/// captured by a [`RecordingTracer`] and rendered as the top-N hotspot
+/// table. `repro --exp trace --trace t.json --metrics m.json` exports
+/// the same run as a Perfetto-loadable timeline and counter dump.
+fn trace() -> Result<Report, SimError> {
+    let n = 16usize;
+    let cluster = ClusterConfig::uniform(NodeKind::Bx2b, 2);
+    let nodes = vec![NodeId(0), NodeId(1)];
+    // Cap each node at 8 ranks so the exchange partners (r <-> r+8)
+    // straddle the InfiniBand link.
+    let placement = Placement::new(&cluster, &nodes, n, 1, PlacementStrategy::DenseCapped(8));
+    let mut spec = WorkloadSpec::with_ranks(n);
+    for (r, prog) in spec.ranks.iter_mut().enumerate() {
+        let partner = (r + n / 2) % n;
+        for _iter in 0..3 {
+            // Linear compute skew: rank 15 does ~2x rank 0's work, so
+            // the early ranks pile up wait time at the collectives.
+            prog.push(SpecOp::Work(WorkPhase::new(
+                1.0e9 * (1.0 + r as f64 / (n - 1) as f64),
+                1.0e8,
+                1 << 20,
+                0.2,
+                KernelClass::BlockSolver,
+            )));
+            prog.push(SpecOp::Exchange {
+                with: partner,
+                bytes: 1 << 20,
+                tag: r.min(partner) as u64,
+            });
+            prog.push(SpecOp::AllReduce { bytes: 64 });
+        }
+    }
+    // Seeded drops (software-level timeout, as in the degraded
+    // experiment) so the trace shows retransmit backoff on the net
+    // track, deterministically.
+    let mut faults = FaultPlan::with_drops(DEGRADED_SEED, 0.05);
+    faults.retransmit.timeout = 5.0e-3;
+    let cfg = ExecConfig {
+        cluster,
+        nodes,
+        inter: InterNodeFabric::InfiniBand,
+        mpt: MptVersion::Beta,
+        placement,
+        compiler: CompilerVersion::V7_1,
+        pinning: Pinning::Pinned,
+        faults,
+    };
+    let mut tracer = RecordingTracer::new();
+    execute_traced(&spec, &cfg, &mut tracer)?;
+    let profile = tracer.profile();
+    let metrics = tracer.metrics.clone();
+    // This experiment drives its own tracer (bypassing `execute`'s
+    // sink check), so deposit the bundle for `--trace` exports itself.
+    if columbia_obs::sink::is_active() {
+        columbia_obs::sink::record(tracer.into_bundle("trace demo: 16 ranks over 2 nodes (IB)"));
+    }
+    let mut r = hotspot_report(
+        "Trace",
+        "hotspots of an imbalanced 16-rank exchange over 2 nodes (InfiniBand, 5% drops)",
+        &profile,
+        &metrics,
+        8,
+    );
+    r.note(
+        "re-run as `repro --exp trace --trace t.json --metrics m.json` for the Perfetto timeline",
+    );
+    Ok(r)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -711,6 +798,35 @@ mod tests {
             assert_eq!(Experiment::parse(e.name()), Some(e));
         }
         assert_eq!(Experiment::parse("nope"), None);
+    }
+
+    #[test]
+    fn bt_mz_aliases_fig9() {
+        assert_eq!(Experiment::parse("bt_mz"), Some(Experiment::Fig9));
+        assert_eq!(Experiment::parse("bt-mz"), Some(Experiment::Fig9));
+    }
+
+    #[test]
+    fn trace_report_finds_the_waiting_ranks() {
+        let r = run(Experiment::Trace);
+        // Top-8 of 16 ranks.
+        assert_eq!(r.rows.len(), 8);
+        // The compute skew makes rank 15 the laggard, so it never tops
+        // the wait table; some other rank does, with real wait time.
+        assert_ne!(r.rows[0][0], "15");
+        assert!(
+            r.rows[0][3] != "0.00 us",
+            "top hotspot must wait: {:?}",
+            r.rows[0]
+        );
+        // The seeded drops leave fabric counters behind.
+        let msgs = r.notes.iter().find(|n| n.contains("messages:")).unwrap();
+        assert!(msgs.contains("dropped"), "{msgs}");
+        assert!(
+            r.notes.iter().any(|n| n.contains("heaviest link")),
+            "inter-node traffic must be attributed: {:?}",
+            r.notes
+        );
     }
 
     #[test]

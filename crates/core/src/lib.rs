@@ -34,13 +34,16 @@ pub use columbia_machine as machine;
 pub use columbia_md as md;
 pub use columbia_npb as npb;
 pub use columbia_npbmz as npbmz;
+pub use columbia_obs as obs;
 pub use columbia_overflowd as overflowd;
 pub use columbia_overset as overset;
 pub use columbia_runtime as runtime;
 pub use columbia_simnet as simnet;
 
 pub mod experiments;
+pub mod obs_report;
 pub mod report;
 
 pub use experiments::{run, Experiment};
-pub use report::Report;
+pub use obs_report::hotspot_report;
+pub use report::{Report, ReportError};

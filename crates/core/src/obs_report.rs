@@ -1,0 +1,117 @@
+//! Render observability data ([`CommProfile`], [`Metrics`]) as
+//! [`Report`] tables.
+//!
+//! The tracer (see `columbia-obs`) captures where every simulated
+//! second went; this module turns that into the repo's standard
+//! human-readable output: a top-N hotspot table of the ranks that
+//! spent the most time waiting, annotated with the fabric counters
+//! that explain *why* they waited.
+
+use columbia_obs::{CommProfile, Metrics};
+
+use crate::report::{secs, Report};
+
+/// Top-N hotspot table: the ranks losing the most time to waiting,
+/// with their compute/comm/wait attribution.
+///
+/// `id`/`title` name the report (e.g. the experiment that produced the
+/// trace); `top_n` bounds the table size. Counter totals that explain
+/// the waits (drops, retransmits, multiplexing) are appended as notes.
+pub fn hotspot_report(
+    id: &str,
+    title: &str,
+    profile: &CommProfile,
+    metrics: &Metrics,
+    top_n: usize,
+) -> Report {
+    let mut r = Report::new(
+        id,
+        title,
+        &["rank", "compute", "comm", "wait", "total", "wait %"],
+    );
+    for p in profile.hotspots(top_n) {
+        let pct = if p.total > 0.0 {
+            100.0 * p.wait / p.total
+        } else {
+            0.0
+        };
+        r.push_row(vec![
+            p.rank.to_string(),
+            secs(p.compute),
+            secs(p.comm),
+            secs(p.wait),
+            secs(p.total),
+            format!("{pct:.1}%"),
+        ]);
+    }
+    r.note(format!(
+        "makespan {}; comm fraction {:.1}% across {} rank(s), {} phase(s)",
+        secs(profile.makespan),
+        100.0 * profile.comm_fraction(),
+        profile.ranks.len(),
+        profile.phases.len(),
+    ));
+    r.note(format!(
+        "messages: {} sent, {} dropped, {} retransmit(s), {} multiplexed; {} bytes on the wire",
+        metrics.counter("messages_sent"),
+        metrics.counter("messages_dropped"),
+        metrics.counter("retransmits"),
+        metrics.counter("messages_multiplexed"),
+        metrics.counter("bytes_sent"),
+    ));
+    if let Some(((from, to), bytes)) = metrics.links_by_bytes().into_iter().next() {
+        r.note(format!(
+            "heaviest link: node {from} -> node {to}, {bytes} bytes"
+        ));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columbia_obs::{SpanEvent, SpanKind};
+
+    fn profile() -> CommProfile {
+        let spans = vec![
+            SpanEvent {
+                rank: 0,
+                kind: SpanKind::Compute,
+                start: 0.0,
+                end: 4.0,
+            },
+            SpanEvent {
+                rank: 1,
+                kind: SpanKind::Compute,
+                start: 0.0,
+                end: 1.0,
+            },
+            SpanEvent {
+                rank: 1,
+                kind: SpanKind::RecvWait,
+                start: 1.0,
+                end: 4.0,
+            },
+        ];
+        CommProfile::from_spans(&spans, 2)
+    }
+
+    #[test]
+    fn hotspots_lead_with_the_most_waiting_rank() {
+        let mut m = Metrics::default();
+        m.inc("messages_sent", 1);
+        m.add("bytes_sent", 1024);
+        let r = hotspot_report("Trace", "demo", &profile(), &m, 10);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], "1"); // rank 1 waited 3s, rank 0 none
+        assert!(r.rows[0][5].starts_with("75.0"));
+        assert!(r.notes.iter().any(|n| n.contains("1 sent")));
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let m = Metrics::default();
+        let r = hotspot_report("Trace", "demo", &profile(), &m, 1);
+        assert_eq!(r.rows.len(), 1);
+    }
+}

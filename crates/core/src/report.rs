@@ -1,6 +1,33 @@
 //! Report tables: the common output format of every experiment.
 
+use std::fmt;
+
 use serde::Serialize;
+
+/// A structurally invalid [`Report`] mutation, from the strict
+/// [`Report::try_push_row`] API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// Row cell count differs from the header count.
+    RowWidth {
+        /// Cells supplied.
+        got: usize,
+        /// Cells expected (one per header).
+        want: usize,
+    },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::RowWidth { got, want } => {
+                write!(f, "row width {got} does not match {want} header(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
 
 /// A rendered experiment result.
 #[derive(Debug, Clone, Serialize)]
@@ -29,14 +56,35 @@ impl Report {
         }
     }
 
-    /// Append one row.
-    pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(
-            cells.len(),
-            self.headers.len(),
-            "row width must match headers"
-        );
+    /// Append one row, degrading gracefully on a width mismatch.
+    ///
+    /// A wrong-width row is a bug in the experiment that produced it,
+    /// but a half-rendered report is more useful than a crashed run, so
+    /// this truncates (or pads with `""`) the row to the header width
+    /// and records a diagnostic note instead of panicking. Use
+    /// [`Report::try_push_row`] to reject the mismatch explicitly.
+    pub fn push_row(&mut self, mut cells: Vec<String>) {
+        if cells.len() != self.headers.len() {
+            let e = ReportError::RowWidth {
+                got: cells.len(),
+                want: self.headers.len(),
+            };
+            self.note(format!("malformed row ({e}): {}", cells.join(" | ")));
+            cells.resize(self.headers.len(), String::new());
+        }
         self.rows.push(cells);
+    }
+
+    /// Append one row, rejecting a width mismatch with a typed error.
+    pub fn try_push_row(&mut self, cells: Vec<String>) -> Result<(), ReportError> {
+        if cells.len() != self.headers.len() {
+            return Err(ReportError::RowWidth {
+                got: cells.len(),
+                want: self.headers.len(),
+            });
+        }
+        self.rows.push(cells);
+        Ok(())
     }
 
     /// Append a note.
@@ -75,21 +123,28 @@ impl Report {
         out
     }
 
-    /// Render as pretty-printed JSON.
+    /// The report as a JSON value tree (field order preserved:
+    /// id, title, headers, rows, notes).
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let strings =
+            |v: &[String]| Value::Array(v.iter().map(|s| Value::String(s.clone())).collect());
+        let mut obj = Value::object();
+        obj.set("id", Value::String(self.id.clone()));
+        obj.set("title", Value::String(self.title.clone()));
+        obj.set("headers", strings(&self.headers));
+        obj.set(
+            "rows",
+            Value::Array(self.rows.iter().map(|r| strings(r)).collect()),
+        );
+        obj.set("notes", strings(&self.notes));
+        obj
+    }
+
+    /// Render as pretty-printed JSON (via [`Report::to_value`] and the
+    /// shared serializer, rather than hand-rolled string pasting).
     pub fn to_json(&self) -> String {
-        use serde_json::{array, quote};
-        let strings = |v: &[String]| array(v.iter().map(|s| quote(s)));
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"id\": {},\n", quote(&self.id)));
-        out.push_str(&format!("  \"title\": {},\n", quote(&self.title)));
-        out.push_str(&format!("  \"headers\": {},\n", strings(&self.headers)));
-        out.push_str(&format!(
-            "  \"rows\": {},\n",
-            array(self.rows.iter().map(|r| strings(r)))
-        ));
-        out.push_str(&format!("  \"notes\": {}\n", strings(&self.notes)));
-        out.push('}');
-        out
+        serde_json::to_string_pretty(&self.to_value())
     }
 }
 
@@ -133,18 +188,61 @@ mod tests {
 
     #[test]
     fn json_round_trips_fields() {
-        let mut r = Report::new("Fig. 9", "demo", &["x"]);
-        r.push_row(vec!["42".into()]);
+        let mut r = Report::new("Fig. 9", "demo \"quoted\"", &["x", "y"]);
+        r.push_row(vec!["42".into(), "weird\ncell\t\"".into()]);
+        r.note("caveat");
         let j = r.to_json();
-        assert!(j.contains("\"Fig. 9\""));
-        assert!(j.contains("42"));
+        // Field order is part of the format: id, title, headers, rows,
+        // notes — downstream diffs rely on it.
+        let order: Vec<usize> = [
+            "\"id\"",
+            "\"title\"",
+            "\"headers\"",
+            "\"rows\"",
+            "\"notes\"",
+        ]
+        .iter()
+        .map(|k| j.find(k).unwrap())
+        .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "field order: {j}");
+        // And the output must parse back to exactly the same data.
+        let v = serde_json::from_str(&j).unwrap();
+        assert_eq!(v.get("id").and_then(|x| x.as_str()), Some("Fig. 9"));
+        assert_eq!(
+            v.get("title").and_then(|x| x.as_str()),
+            Some("demo \"quoted\"")
+        );
+        let rows = v.get("rows").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = rows[0].as_array().unwrap();
+        assert_eq!(row[1].as_str(), Some("weird\ncell\t\""));
+        assert_eq!(
+            v.get("notes").and_then(|x| x.as_array()).unwrap()[0].as_str(),
+            Some("caveat")
+        );
     }
 
     #[test]
-    #[should_panic(expected = "row width")]
-    fn mismatched_row_rejected() {
+    fn mismatched_row_rejected_by_strict_api() {
         let mut r = Report::new("T", "t", &["a", "b"]);
-        r.push_row(vec!["only-one".into()]);
+        let err = r.try_push_row(vec!["only-one".into()]).unwrap_err();
+        assert_eq!(err, ReportError::RowWidth { got: 1, want: 2 });
+        assert!(r.rows.is_empty());
+        assert!(err.to_string().contains("row width 1"));
+    }
+
+    #[test]
+    fn mismatched_row_degrades_gracefully() {
+        let mut r = Report::new("T", "t", &["a", "b"]);
+        r.push_row(vec!["short".into()]);
+        r.push_row(vec!["x".into(), "y".into(), "extra".into()]);
+        // Both rows land, normalised to the header width, and each
+        // mismatch leaves a diagnostic note.
+        assert_eq!(r.rows, vec![vec!["short", ""], vec!["x", "y"]]);
+        assert_eq!(r.notes.len(), 2);
+        assert!(r.notes[0].contains("malformed row"));
+        // The degraded report still renders.
+        assert!(r.to_text().contains("short"));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * [`zones`] — zone grids and dimensions per class, even and uneven;
 //! * [`balance`] — the greedy bin-packing balancer (and a round-robin
 //!   baseline for the ablation bench) assigning zones to MPI ranks;
-//! * [`bench`] — hybrid MPI+OpenMP workload specs, the real class-S
+//! * [`mod@bench`] — hybrid MPI+OpenMP workload specs, the real class-S
 //!   mini-run, and the figure runners (Fig. 7 pinning, Fig. 9
 //!   process/thread trade, Fig. 11 multinode fabrics).
 

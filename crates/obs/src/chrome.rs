@@ -1,0 +1,183 @@
+//! Chrome trace-event export.
+//!
+//! Renders recorded simulations in the [Trace Event Format] consumed
+//! by Perfetto (`ui.perfetto.dev`) and `chrome://tracing`: each
+//! simulation becomes a "process", each rank a named "thread" (track),
+//! and every span a complete (`"ph": "X"`) event with microsecond
+//! timestamps. Network-side spans (retransmit backoff, multiplex
+//! queuing) get their own per-rank tracks so they can overlap CPU
+//! activity without confusing the renderer.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use serde_json::Value;
+
+use crate::sink::TraceBundle;
+use crate::tracer::{SpanEvent, Track};
+
+/// Seconds → trace-event microseconds.
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+fn meta(name: &str, pid: usize, tid: usize, arg: &str) -> Value {
+    let mut args = Value::object();
+    args.set("name", Value::String(arg.to_string()));
+    let mut e = Value::object();
+    e.set("ph", Value::String("M".into()));
+    e.set("name", Value::String(name.into()));
+    e.set("pid", Value::Number(pid as f64));
+    e.set("tid", Value::Number(tid as f64));
+    e.set("args", args);
+    e
+}
+
+fn complete(span: &SpanEvent, pid: usize, tid: usize) -> Value {
+    let mut e = Value::object();
+    e.set("name", Value::String(span.kind.name().into()));
+    e.set(
+        "cat",
+        Value::String(
+            match span.kind.track() {
+                Track::Cpu => "cpu",
+                Track::Net => "net",
+            }
+            .into(),
+        ),
+    );
+    e.set("ph", Value::String("X".into()));
+    e.set("ts", Value::Number(us(span.start)));
+    e.set("dur", Value::Number(us(span.duration())));
+    e.set("pid", Value::Number(pid as f64));
+    e.set("tid", Value::Number(tid as f64));
+    e
+}
+
+/// Render `bundles` as one Chrome trace document.
+///
+/// Simulation `i` is process `i` (named by its bundle label); rank `r`
+/// is thread `r` of that process, and its network activity — if any —
+/// thread `n_ranks + r` (named "rank r (net)").
+pub fn chrome_trace(bundles: &[TraceBundle]) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    for (pid, bundle) in bundles.iter().enumerate() {
+        let n_ranks = bundle.profile.ranks.len();
+        events.push(meta("process_name", pid, 0, &bundle.label));
+        let mut rank_seen = vec![false; n_ranks];
+        let mut net_seen = vec![false; n_ranks];
+        for span in &bundle.spans {
+            let tid = match span.kind.track() {
+                Track::Cpu => {
+                    rank_seen[span.rank] = true;
+                    span.rank
+                }
+                Track::Net => {
+                    net_seen[span.rank] = true;
+                    n_ranks + span.rank
+                }
+            };
+            events.push(complete(span, pid, tid));
+        }
+        for (r, seen) in rank_seen.iter().enumerate() {
+            if *seen {
+                events.push(meta("thread_name", pid, r, &format!("rank {r}")));
+            }
+        }
+        for (r, seen) in net_seen.iter().enumerate() {
+            if *seen {
+                events.push(meta(
+                    "thread_name",
+                    pid,
+                    n_ranks + r,
+                    &format!("rank {r} (net)"),
+                ));
+            }
+        }
+    }
+    let mut doc = Value::object();
+    doc.set("traceEvents", Value::Array(events));
+    doc.set("displayTimeUnit", Value::String("ms".into()));
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::profile::CommProfile;
+    use crate::tracer::SpanKind;
+
+    fn bundle() -> TraceBundle {
+        let spans = vec![
+            SpanEvent {
+                rank: 0,
+                kind: SpanKind::Compute,
+                start: 0.0,
+                end: 1.0,
+            },
+            SpanEvent {
+                rank: 1,
+                kind: SpanKind::RecvWait,
+                start: 0.0,
+                end: 0.5,
+            },
+            SpanEvent {
+                rank: 0,
+                kind: SpanKind::RetransmitBackoff,
+                start: 1.0,
+                end: 1.5,
+            },
+        ];
+        let profile = CommProfile::from_spans(&spans, 2);
+        TraceBundle {
+            label: "demo".into(),
+            spans,
+            metrics: Metrics::new(),
+            profile,
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_per_rank_tracks() {
+        let doc = chrome_trace(&[bundle()]);
+        let text = serde_json::to_string_pretty(&doc);
+        let parsed = serde_json::from_str(&text).unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        // One thread_name per CPU rank plus one for the net track.
+        let thread_names: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+            .collect();
+        assert_eq!(thread_names.len(), 3);
+        // Complete events carry microsecond timestamps.
+        let compute = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("compute"))
+            .unwrap();
+        assert_eq!(compute.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(compute.get("dur").and_then(Value::as_f64), Some(1e6));
+        // The net span lands on the offset track.
+        let net = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Value::as_str) == Some("net"))
+            .unwrap();
+        assert_eq!(net.get("tid").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn empty_export_still_parses() {
+        let doc = chrome_trace(&[]);
+        let parsed = serde_json::from_str(&serde_json::to_string(&doc)).unwrap();
+        assert_eq!(
+            parsed
+                .get("traceEvents")
+                .and_then(Value::as_array)
+                .map(Vec::len),
+            Some(0)
+        );
+    }
+}

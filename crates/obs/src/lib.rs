@@ -1,0 +1,48 @@
+//! `columbia-obs` — the observability layer of the Columbia simulator.
+//!
+//! The source paper's contribution is *measurement*: it explains
+//! Columbia's application performance by attributing time to compute,
+//! communication, and placement effects. This crate gives the
+//! simulator the same power over itself:
+//!
+//! * [`tracer`] — a zero-cost-when-disabled [`Tracer`] trait the
+//!   discrete-event engine emits span events through. [`NullTracer`]
+//!   compiles to nothing (the engine is generic over the tracer, so
+//!   the null impl monomorphizes away); [`RecordingTracer`] captures
+//!   per-rank timelines and aggregates [`Metrics`] as it goes.
+//! * [`metrics`] — a registry of named counters, gauges, and
+//!   log-bucketed latency [`Histogram`]s: messages sent, dropped, and
+//!   retransmitted, bytes per inter-node link, per-rank wait time,
+//!   connection-table occupancy.
+//! * [`profile`] — [`CommProfile`], the compute / communication / wait
+//!   breakdown per rank and per phase (phases are delimited by
+//!   collectives, the natural epochs of the simulated workloads) —
+//!   the simulator's analogue of the paper's Table 4-style
+//!   attribution.
+//! * [`chrome`] — export a set of recorded simulations as Chrome
+//!   trace-event JSON, loadable in Perfetto (`ui.perfetto.dev`) or
+//!   `chrome://tracing`, one track per rank.
+//! * [`sink`] — a process-global collection point so `repro --trace`
+//!   can capture every simulation an experiment runs without
+//!   threading a tracer through each workload crate's API.
+//!
+//! Overhead guarantees: with [`NullTracer`] every hook is an inlined
+//! empty function behind an `enabled()` check that constant-folds to
+//! `false`, so the instrumented engine produces bit-identical
+//! [`SimOutcome`]s (asserted by regression tests in `columbia-simnet`)
+//! at unmeasurable cost. The global sink costs one relaxed atomic load
+//! per *simulation* (not per event) when disabled.
+//!
+//! [`SimOutcome`]: https://docs.rs/columbia-simnet
+
+pub mod chrome;
+pub mod metrics;
+pub mod profile;
+pub mod sink;
+pub mod tracer;
+
+pub use chrome::chrome_trace;
+pub use metrics::{Histogram, Metrics};
+pub use profile::{CommProfile, PhaseProfile, RankProfile};
+pub use sink::TraceBundle;
+pub use tracer::{MessageRecord, NullTracer, RecordingTracer, SpanEvent, SpanKind, Tracer, Track};

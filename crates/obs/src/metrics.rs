@@ -1,0 +1,285 @@
+//! The metrics registry: counters, gauges, latency histograms, and
+//! per-link byte totals.
+//!
+//! Keys are `&'static str` so the hot recording path never allocates
+//! for a name; everything is held in `BTreeMap`s so JSON export is
+//! deterministically ordered.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+/// A log-bucketed latency histogram (seconds).
+///
+/// Buckets are powers of ten from 1 ns to 1000 s plus an overflow
+/// bucket — wide enough for every virtual duration the simulator
+/// produces, cheap enough to update per message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: [u64; Histogram::BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; Histogram::BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Decade buckets: `< 1e-9, < 1e-8, …, < 1e3`, plus overflow.
+    pub const BUCKETS: usize = 14;
+
+    /// Upper bound of bucket `i` in seconds (`None` = overflow).
+    pub fn bucket_bound(i: usize) -> Option<f64> {
+        (i + 1 < Self::BUCKETS).then(|| 10f64.powi(i as i32 - 9))
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        let mut idx = Self::BUCKETS - 1;
+        for i in 0..Self::BUCKETS - 1 {
+            if v < Self::bucket_bound(i).unwrap() {
+                idx = i;
+                break;
+            }
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Render as JSON: count, sum, mean, min, max, non-empty buckets.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.set("count", Value::Number(self.count as f64));
+        v.set("sum", Value::Number(self.sum));
+        v.set("mean", Value::Number(self.mean()));
+        v.set("min", Value::Number(self.min()));
+        v.set("max", Value::Number(self.max()));
+        let mut buckets = Value::object();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let label = match Self::bucket_bound(i) {
+                Some(b) => format!("lt_{b:.0e}"),
+                None => "overflow".to_string(),
+            };
+            buckets.set(&label, Value::Number(c as f64));
+        }
+        v.set("buckets", buckets);
+        v
+    }
+}
+
+/// A registry of named counters, gauges, histograms, and per-link byte
+/// totals for one simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    /// Bytes moved per directed `(from_node, to_node)` pair.
+    link_bytes: BTreeMap<(u32, u32), u64>,
+}
+
+impl Metrics {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment counter `name` by `by`.
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Alias of [`Metrics::inc`] reading better for byte totals.
+    pub fn add(&mut self, name: &'static str, by: u64) {
+        self.inc(name, by);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name`.
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record an observation into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, v: f64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// Histogram `name`, if it has observations.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Account `bytes` moved from `from_node` to `to_node`.
+    pub fn link_bytes(&mut self, from_node: u32, to_node: u32, bytes: u64) {
+        *self.link_bytes.entry((from_node, to_node)).or_insert(0) += bytes;
+    }
+
+    /// Per-link byte totals, heaviest first.
+    pub fn links_by_bytes(&self) -> Vec<((u32, u32), u64)> {
+        let mut v: Vec<_> = self.link_bytes.iter().map(|(&k, &b)| (k, b)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Render the whole registry as ordered JSON.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        let mut counters = Value::object();
+        for (k, c) in &self.counters {
+            counters.set(k, Value::Number(*c as f64));
+        }
+        v.set("counters", counters);
+        let mut gauges = Value::object();
+        for (k, g) in &self.gauges {
+            gauges.set(k, Value::Number(*g));
+        }
+        v.set("gauges", gauges);
+        let mut hists = Value::object();
+        for (k, h) in &self.histograms {
+            hists.set(k, h.to_value());
+        }
+        v.set("histograms", hists);
+        let links = self
+            .links_by_bytes()
+            .into_iter()
+            .map(|((a, b), bytes)| {
+                let mut e = Value::object();
+                e.set("from_node", Value::Number(a as f64));
+                e.set("to_node", Value::Number(b as f64));
+                e.set("bytes", Value::Number(bytes as f64));
+                e
+            })
+            .collect();
+        v.set("link_bytes", Value::Array(links));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        for v in [1e-6, 2e-6, 5e-3, 40.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 40.005003).abs() < 1e-9);
+        assert_eq!(h.min(), 1e-6);
+        assert_eq!(h.max(), 40.0);
+        let v = h.to_value();
+        assert_eq!(v.get("count").and_then(Value::as_f64), Some(4.0));
+        // 1e-6 and 2e-6 share the `< 1e-5` decade bucket.
+        assert_eq!(
+            v.get("buckets")
+                .and_then(|b| b.get("lt_1e-5"))
+                .and_then(Value::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn registry_counts_and_exports() {
+        let mut m = Metrics::new();
+        m.inc("messages_sent", 3);
+        m.gauge("connection_occupancy", 1.5);
+        m.observe("message_latency_seconds", 2e-6);
+        m.link_bytes(0, 1, 100);
+        m.link_bytes(1, 0, 300);
+        m.link_bytes(0, 1, 50);
+        assert_eq!(m.counter("messages_sent"), 3);
+        assert_eq!(m.counter("never_touched"), 0);
+        assert_eq!(m.links_by_bytes()[0], ((1, 0), 300));
+        assert_eq!(m.links_by_bytes()[1], ((0, 1), 150));
+        let text = serde_json::to_string_pretty(&m.to_value());
+        let parsed = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("messages_sent"))
+                .and_then(Value::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .and_then(|g| g.get("connection_occupancy"))
+                .and_then(Value::as_f64),
+            Some(1.5)
+        );
+    }
+}

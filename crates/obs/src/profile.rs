@@ -1,0 +1,245 @@
+//! [`CommProfile`]: the compute / communication / wait attribution.
+//!
+//! Derived from a [`RecordingTracer`](crate::RecordingTracer)'s span
+//! stream. CPU-track spans tile each rank's timeline, so summing them
+//! by kind reproduces exactly where every virtual second went — the
+//! simulator's analogue of the paper's per-application comm/exec
+//! tables. Phases are delimited by collectives: phase *k* of a rank is
+//! everything between its (k−1)-th and k-th collective, which matches
+//! how the simulated workloads structure their time steps.
+
+use serde_json::Value;
+
+use crate::tracer::{SpanEvent, SpanKind, Track};
+
+/// Where one rank's virtual time went.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RankProfile {
+    /// The rank.
+    pub rank: usize,
+    /// Seconds in [`SpanKind::Compute`].
+    pub compute: f64,
+    /// Seconds actively communicating ([`SpanKind::Send`] overhead +
+    /// [`SpanKind::Collective`]).
+    pub comm: f64,
+    /// Seconds blocked in [`SpanKind::RecvWait`].
+    pub wait: f64,
+    /// Finish time of the rank (end of its last CPU span).
+    pub total: f64,
+}
+
+impl RankProfile {
+    /// `compute + comm + wait` — equals [`RankProfile::total`] because
+    /// CPU spans tile the timeline (property-tested).
+    pub fn accounted(&self) -> f64 {
+        self.compute + self.comm + self.wait
+    }
+}
+
+/// One collective-delimited phase, aggregated over all ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseProfile {
+    /// Phase index (0 = up to and including the first collective).
+    pub phase: usize,
+    /// Total compute seconds across ranks.
+    pub compute: f64,
+    /// Total active-communication seconds across ranks.
+    pub comm: f64,
+    /// Total blocked-wait seconds across ranks.
+    pub wait: f64,
+}
+
+/// The full attribution of a simulated run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CommProfile {
+    /// Per-rank breakdown, indexed by rank.
+    pub ranks: Vec<RankProfile>,
+    /// Per-phase breakdown (summed over ranks), in phase order.
+    pub phases: Vec<PhaseProfile>,
+    /// Finish time of the slowest rank.
+    pub makespan: f64,
+}
+
+impl CommProfile {
+    /// Fold a span stream (per-rank monotone, as the
+    /// [`RecordingTracer`](crate::RecordingTracer) emits it) into the
+    /// attribution.
+    pub fn from_spans(spans: &[SpanEvent], n_ranks: usize) -> CommProfile {
+        let mut ranks: Vec<RankProfile> = (0..n_ranks)
+            .map(|rank| RankProfile {
+                rank,
+                ..RankProfile::default()
+            })
+            .collect();
+        let mut phase_of = vec![0usize; n_ranks];
+        let mut phases: Vec<PhaseProfile> = Vec::new();
+        for s in spans {
+            if s.kind.track() != Track::Cpu {
+                continue;
+            }
+            let r = &mut ranks[s.rank];
+            let d = s.duration();
+            let phase = phase_of[s.rank];
+            if phases.len() <= phase {
+                phases.resize_with(phase + 1, PhaseProfile::default);
+            }
+            let p = &mut phases[phase];
+            p.phase = phase;
+            match s.kind {
+                SpanKind::Compute => {
+                    r.compute += d;
+                    p.compute += d;
+                }
+                SpanKind::Send | SpanKind::Collective => {
+                    r.comm += d;
+                    p.comm += d;
+                }
+                SpanKind::RecvWait => {
+                    r.wait += d;
+                    p.wait += d;
+                }
+                SpanKind::RetransmitBackoff | SpanKind::MultiplexQueue => unreachable!(),
+            }
+            r.total = r.total.max(s.end);
+            if s.kind == SpanKind::Collective {
+                phase_of[s.rank] += 1;
+            }
+        }
+        let makespan = ranks.iter().map(|r| r.total).fold(0.0, f64::max);
+        CommProfile {
+            ranks,
+            phases,
+            makespan,
+        }
+    }
+
+    /// The `n` ranks that spent the most time blocked, worst first —
+    /// the "who stalled" question a slow run poses.
+    pub fn hotspots(&self, n: usize) -> Vec<&RankProfile> {
+        let mut v: Vec<&RankProfile> = self.ranks.iter().collect();
+        v.sort_by(|a, b| {
+            b.wait
+                .partial_cmp(&a.wait)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.rank.cmp(&b.rank))
+        });
+        v.truncate(n);
+        v
+    }
+
+    /// Mean communication fraction (`(comm + wait) / total`) across
+    /// ranks with non-zero totals.
+    pub fn comm_fraction(&self) -> f64 {
+        let busy: Vec<&RankProfile> = self.ranks.iter().filter(|r| r.total > 0.0).collect();
+        if busy.is_empty() {
+            return 0.0;
+        }
+        busy.iter()
+            .map(|r| (r.comm + r.wait) / r.total)
+            .sum::<f64>()
+            / busy.len() as f64
+    }
+
+    /// Render as ordered JSON (per rank, per phase, makespan).
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.set("makespan", Value::Number(self.makespan));
+        v.set("comm_fraction", Value::Number(self.comm_fraction()));
+        let ranks = self
+            .ranks
+            .iter()
+            .map(|r| {
+                let mut e = Value::object();
+                e.set("rank", Value::Number(r.rank as f64));
+                e.set("compute", Value::Number(r.compute));
+                e.set("comm", Value::Number(r.comm));
+                e.set("wait", Value::Number(r.wait));
+                e.set("total", Value::Number(r.total));
+                e
+            })
+            .collect();
+        v.set("ranks", Value::Array(ranks));
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                let mut e = Value::object();
+                e.set("phase", Value::Number(p.phase as f64));
+                e.set("compute", Value::Number(p.compute));
+                e.set("comm", Value::Number(p.comm));
+                e.set("wait", Value::Number(p.wait));
+                e
+            })
+            .collect();
+        v.set("phases", Value::Array(phases));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(rank: usize, kind: SpanKind, start: f64, end: f64) -> SpanEvent {
+        SpanEvent {
+            rank,
+            kind,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn attribution_tiles_the_timeline() {
+        let spans = vec![
+            span(0, SpanKind::Compute, 0.0, 1.0),
+            span(0, SpanKind::Send, 1.0, 1.1),
+            span(1, SpanKind::RecvWait, 0.0, 1.2),
+            span(0, SpanKind::Collective, 1.1, 2.0),
+            span(1, SpanKind::Collective, 1.2, 2.0),
+            // phase 1 after the collective
+            span(0, SpanKind::Compute, 2.0, 2.5),
+        ];
+        let p = CommProfile::from_spans(&spans, 2);
+        assert!((p.ranks[0].accounted() - p.ranks[0].total).abs() < 1e-12);
+        assert!((p.ranks[1].accounted() - p.ranks[1].total).abs() < 1e-12);
+        assert!((p.makespan - 2.5).abs() < 1e-12);
+        assert_eq!(p.phases.len(), 2);
+        assert!((p.phases[0].compute - 1.0).abs() < 1e-12);
+        assert!((p.phases[1].compute - 0.5).abs() < 1e-12);
+        // Rank 1 waited the longest.
+        assert_eq!(p.hotspots(1)[0].rank, 1);
+    }
+
+    #[test]
+    fn net_spans_do_not_pollute_the_cpu_attribution() {
+        let spans = vec![
+            span(0, SpanKind::Compute, 0.0, 1.0),
+            span(0, SpanKind::RetransmitBackoff, 0.5, 5.0),
+            span(0, SpanKind::MultiplexQueue, 5.0, 6.0),
+        ];
+        let p = CommProfile::from_spans(&spans, 1);
+        assert!((p.ranks[0].total - 1.0).abs() < 1e-12);
+        assert!((p.makespan - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let p = CommProfile::from_spans(&[], 0);
+        assert_eq!(p.makespan, 0.0);
+        assert_eq!(p.comm_fraction(), 0.0);
+        assert!(p.hotspots(3).is_empty());
+    }
+
+    #[test]
+    fn json_export_parses() {
+        let spans = vec![span(0, SpanKind::Compute, 0.0, 2.0)];
+        let p = CommProfile::from_spans(&spans, 1);
+        let parsed = serde_json::from_str(&serde_json::to_string(&p.to_value())).unwrap();
+        assert_eq!(parsed.get("makespan").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(
+            parsed.get("ranks").and_then(Value::as_array).unwrap().len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! The process-global trace sink.
+//!
+//! Experiments run many simulations behind several layers of workload
+//! crates; threading a tracer through every API would bloat every
+//! signature for a debugging concern. Instead, the executor
+//! (`columbia-runtime`) asks this sink "is anyone collecting?" once
+//! per simulation — one relaxed atomic load when disabled — and, when
+//! the answer is yes, runs under a
+//! [`RecordingTracer`](crate::RecordingTracer) and deposits the
+//! resulting [`TraceBundle`] here. `repro --trace/--metrics` installs
+//! the sink, runs the selected experiments, then drains it into the
+//! export files.
+//!
+//! The sink is global and mutex-protected (not thread-local) so
+//! simulations running on worker threads are captured too. Bundles
+//! carry a sequence number in arrival order, which makes concurrent
+//! captures distinguishable even when labels repeat.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics::Metrics;
+use crate::profile::CommProfile;
+use crate::tracer::SpanEvent;
+
+/// Everything recorded about one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBundle {
+    /// Human label ("bt-mz 256x4", "sim 3", …).
+    pub label: String,
+    /// The span stream, in emission order.
+    pub spans: Vec<SpanEvent>,
+    /// Aggregated counters/histograms.
+    pub metrics: Metrics,
+    /// The compute/comm/wait attribution.
+    pub profile: CommProfile,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Vec<TraceBundle>> = Mutex::new(Vec::new());
+
+/// Start collecting: clears any previous bundles and activates the
+/// sink.
+pub fn install() {
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    sink.clear();
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Whether a collector is installed. Cheap enough to call per
+/// simulation from any thread.
+#[inline]
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// Deposit one recorded simulation. A no-op when the sink is not
+/// installed (the recording is dropped), so racing a `take` is safe.
+pub fn record(mut bundle: TraceBundle) {
+    if !is_active() {
+        return;
+    }
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let seq = sink.len();
+    bundle.label = format!("sim {seq}: {}", bundle.label);
+    sink.push(bundle);
+}
+
+/// Stop collecting and return everything captured since
+/// [`install`], in arrival order.
+pub fn take() -> Vec<TraceBundle> {
+    ACTIVE.store(false, Ordering::Release);
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    std::mem::take(&mut *sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_lifecycle() {
+        // Single test exercising the global state end-to-end (kept as
+        // one test so parallel test threads cannot interleave).
+        assert!(!is_active());
+        record(TraceBundle {
+            label: "dropped".into(),
+            ..TraceBundle::default()
+        });
+        assert!(take().is_empty());
+
+        install();
+        assert!(is_active());
+        record(TraceBundle {
+            label: "a".into(),
+            ..TraceBundle::default()
+        });
+        record(TraceBundle {
+            label: "b".into(),
+            ..TraceBundle::default()
+        });
+        let bundles = take();
+        assert!(!is_active());
+        assert_eq!(bundles.len(), 2);
+        assert_eq!(bundles[0].label, "sim 0: a");
+        assert_eq!(bundles[1].label, "sim 1: b");
+        assert!(take().is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! The [`Tracer`] trait and its two implementations.
+//!
+//! The discrete-event engine is generic over a `Tracer`; every clock
+//! advance of every rank is reported as a [`SpanEvent`]. The
+//! [`NullTracer`] makes all hooks empty inlined functions, so the
+//! traced engine monomorphizes to exactly the untraced one. The
+//! [`RecordingTracer`] stores spans and folds message activity into a
+//! [`Metrics`] registry on the fly.
+
+use crate::metrics::Metrics;
+
+/// What a span of virtual time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Busy compute (an `Op::Compute`).
+    Compute,
+    /// CPU-side send overhead (library call + injection, including
+    /// re-injections for retransmitted messages).
+    Send,
+    /// Blocked in a receive waiting for the matching message.
+    RecvWait,
+    /// Inside a collective (barrier / allreduce / alltoall / bcast),
+    /// including the wait for the slowest rank.
+    Collective,
+    /// Network-side: a dropped message waiting out its
+    /// exponential-backoff retransmission timer.
+    RetransmitBackoff,
+    /// Network-side: queuing delay from connection-table multiplexing
+    /// (§2 InfiniBand connection limit).
+    MultiplexQueue,
+}
+
+/// Which per-rank track a span belongs to.
+///
+/// [`Track::Cpu`] spans tile each rank's timeline exactly: they are
+/// contiguous, monotone, and their durations sum to the rank's final
+/// clock (property-tested). [`Track::Net`] spans describe in-flight
+/// message delays and may overlap CPU activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// The rank's own timeline.
+    Cpu,
+    /// Network-side delays attributed to the rank's messages.
+    Net,
+}
+
+impl SpanKind {
+    /// Stable lowercase name (trace event name, metrics key).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::Send => "send",
+            SpanKind::RecvWait => "recv-wait",
+            SpanKind::Collective => "collective",
+            SpanKind::RetransmitBackoff => "retransmit-backoff",
+            SpanKind::MultiplexQueue => "multiplex-queue",
+        }
+    }
+
+    /// The track this kind of span lives on.
+    pub fn track(self) -> Track {
+        match self {
+            SpanKind::Compute | SpanKind::Send | SpanKind::RecvWait | SpanKind::Collective => {
+                Track::Cpu
+            }
+            SpanKind::RetransmitBackoff | SpanKind::MultiplexQueue => Track::Net,
+        }
+    }
+
+    /// All kinds, for iteration.
+    pub const ALL: [SpanKind; 6] = [
+        SpanKind::Compute,
+        SpanKind::Send,
+        SpanKind::RecvWait,
+        SpanKind::Collective,
+        SpanKind::RetransmitBackoff,
+        SpanKind::MultiplexQueue,
+    ];
+}
+
+/// One span of virtual time on one rank's timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    /// The rank the span belongs to.
+    pub rank: usize,
+    /// What the time was spent on.
+    pub kind: SpanKind,
+    /// Start, in virtual seconds since simulation start.
+    pub start: f64,
+    /// End, in virtual seconds (`end >= start`).
+    pub end: f64,
+}
+
+impl SpanEvent {
+    /// Span duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Everything known about one point-to-point message at post time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageRecord {
+    /// Sending rank.
+    pub from_rank: usize,
+    /// Receiving rank.
+    pub to_rank: usize,
+    /// Sender's node.
+    pub from_node: u32,
+    /// Receiver's node.
+    pub to_node: u32,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Wire latency + serialization cost (fault-free part).
+    pub wire_time: f64,
+    /// Times the message was dropped before getting through.
+    pub drops: u32,
+    /// Total retransmission-backoff delay added.
+    pub retransmit_delay: f64,
+    /// Connection-multiplexing queue delay added.
+    pub multiplex_delay: f64,
+}
+
+impl MessageRecord {
+    /// Post-to-arrival latency including fault delays.
+    pub fn latency(&self) -> f64 {
+        self.wire_time + self.retransmit_delay + self.multiplex_delay
+    }
+}
+
+/// Instrumentation hooks the simulation engine calls.
+///
+/// All hooks default to no-ops; implementations override what they
+/// need. Callers may guard expensive argument construction with
+/// [`Tracer::enabled`], which constant-folds for the [`NullTracer`].
+pub trait Tracer {
+    /// Whether this tracer records anything at all.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// One span of virtual time on `rank`'s timeline.
+    #[inline]
+    fn span(&mut self, rank: usize, kind: SpanKind, start: f64, end: f64) {
+        let _ = (rank, kind, start, end);
+    }
+
+    /// A point-to-point message was posted.
+    #[inline]
+    fn message(&mut self, msg: &MessageRecord) {
+        let _ = msg;
+    }
+
+    /// A scalar observation (e.g. connection-table occupancy).
+    #[inline]
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+}
+
+/// The disabled tracer: every hook is an empty inlined function, so a
+/// simulation over it compiles to exactly the untraced engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn span(&mut self, _: usize, _: SpanKind, _: f64, _: f64) {}
+
+    #[inline(always)]
+    fn message(&mut self, _: &MessageRecord) {}
+
+    #[inline(always)]
+    fn gauge(&mut self, _: &'static str, _: f64) {}
+}
+
+/// Captures the full event stream of a simulation.
+///
+/// Spans are kept verbatim (in emission order, which is monotone per
+/// rank); message activity is folded into a [`Metrics`] registry as it
+/// arrives, so memory stays proportional to the program size.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingTracer {
+    /// Every span, in emission order.
+    pub spans: Vec<SpanEvent>,
+    /// Aggregated counters and histograms.
+    pub metrics: Metrics,
+    n_ranks: usize,
+}
+
+impl RecordingTracer {
+    /// Fresh, empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of ranks seen so far (max rank + 1).
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Spans of one rank, in emission (= time) order.
+    pub fn rank_spans(&self, rank: usize) -> impl Iterator<Item = &SpanEvent> {
+        self.spans.iter().filter(move |s| s.rank == rank)
+    }
+
+    /// Build the compute/comm/wait attribution from the recorded spans.
+    pub fn profile(&self) -> crate::profile::CommProfile {
+        crate::profile::CommProfile::from_spans(&self.spans, self.n_ranks)
+    }
+
+    /// Package the recording as a [`TraceBundle`](crate::TraceBundle).
+    pub fn into_bundle(self, label: impl Into<String>) -> crate::TraceBundle {
+        let profile = self.profile();
+        crate::TraceBundle {
+            label: label.into(),
+            spans: self.spans,
+            metrics: self.metrics,
+            profile,
+        }
+    }
+}
+
+impl Tracer for RecordingTracer {
+    fn span(&mut self, rank: usize, kind: SpanKind, start: f64, end: f64) {
+        self.n_ranks = self.n_ranks.max(rank + 1);
+        if kind == SpanKind::RecvWait {
+            self.metrics.observe("recv_wait_seconds", end - start);
+        } else if kind == SpanKind::Collective {
+            self.metrics.observe("collective_seconds", end - start);
+        }
+        self.spans.push(SpanEvent {
+            rank,
+            kind,
+            start,
+            end,
+        });
+    }
+
+    fn message(&mut self, msg: &MessageRecord) {
+        self.n_ranks = self.n_ranks.max(msg.from_rank.max(msg.to_rank) + 1);
+        let m = &mut self.metrics;
+        m.inc("messages_sent", 1);
+        m.add("bytes_sent", msg.bytes);
+        if msg.drops > 0 {
+            m.inc("messages_dropped", 1);
+            m.add("retransmits", msg.drops as u64);
+        }
+        if msg.multiplex_delay > 0.0 {
+            m.inc("messages_multiplexed", 1);
+        }
+        m.link_bytes(msg.from_node, msg.to_node, msg.bytes);
+        m.observe("message_latency_seconds", msg.latency());
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        self.metrics.gauge(name, value);
+    }
+}
+
+/// Forwarding impl so engine entry points can take `&mut T`.
+impl<T: Tracer + ?Sized> Tracer for &mut T {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn span(&mut self, rank: usize, kind: SpanKind, start: f64, end: f64) {
+        (**self).span(rank, kind, start, end)
+    }
+
+    #[inline]
+    fn message(&mut self, msg: &MessageRecord) {
+        (**self).message(msg)
+    }
+
+    #[inline]
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        (**self).gauge(name, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        assert!(!NullTracer.enabled());
+        // And stays inert through the forwarding impl.
+        let mut t = NullTracer;
+        let fwd = &mut t;
+        assert!(!fwd.enabled());
+    }
+
+    #[test]
+    fn recording_tracer_captures_spans_and_counts() {
+        let mut t = RecordingTracer::new();
+        t.span(0, SpanKind::Compute, 0.0, 1.0);
+        t.span(1, SpanKind::RecvWait, 0.0, 0.5);
+        t.message(&MessageRecord {
+            from_rank: 0,
+            to_rank: 1,
+            from_node: 0,
+            to_node: 1,
+            bytes: 4096,
+            wire_time: 1e-5,
+            drops: 2,
+            retransmit_delay: 3e-4,
+            multiplex_delay: 0.0,
+        });
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.n_ranks(), 2);
+        assert_eq!(t.metrics.counter("messages_sent"), 1);
+        assert_eq!(t.metrics.counter("messages_dropped"), 1);
+        assert_eq!(t.metrics.counter("retransmits"), 2);
+        assert_eq!(t.metrics.counter("bytes_sent"), 4096);
+        assert_eq!(t.rank_spans(1).count(), 1);
+    }
+
+    #[test]
+    fn span_kinds_have_stable_names_and_tracks() {
+        for k in SpanKind::ALL {
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(SpanKind::Compute.track(), Track::Cpu);
+        assert_eq!(SpanKind::RetransmitBackoff.track(), Track::Net);
+        assert_eq!(SpanKind::MultiplexQueue.track(), Track::Net);
+    }
+}

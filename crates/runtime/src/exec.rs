@@ -10,7 +10,8 @@
 //! configured fabric.
 
 use columbia_machine::cluster::{ClusterConfig, InterNodeFabric, NodeId};
-use columbia_simnet::engine::{simulate_with_faults, Op, SimOutcome};
+use columbia_obs::{sink, NullTracer, RecordingTracer, Tracer};
+use columbia_simnet::engine::{simulate_traced, Op, SimOutcome};
 use columbia_simnet::fabric::{ClusterFabric, MptVersion};
 use columbia_simnet::fault::{
     ConnectionLimit, ConnectionPolicy, FaultPlan, DEFAULT_MULTIPLEX_QUEUE_PENALTY,
@@ -208,6 +209,37 @@ impl ExecConfig {
 /// can surface [`SimError::ConnectionsExhausted`] or
 /// [`SimError::WatchdogTimeout`].
 pub fn execute(spec: &WorkloadSpec, cfg: &ExecConfig) -> Result<SimOutcome, SimError> {
+    if !sink::is_active() {
+        return execute_traced(spec, cfg, &mut NullTracer);
+    }
+    // A collector is installed (`repro --trace/--metrics`): record the
+    // run and deposit the bundle — even on error, so a deadlocked or
+    // watchdog-killed run still leaves its partial timeline behind.
+    let mut tracer = RecordingTracer::new();
+    let result = execute_traced(spec, cfg, &mut tracer);
+    let label = format!(
+        "{} ranks x {} threads on {} node(s)",
+        cfg.placement.ranks(),
+        cfg.placement.threads(),
+        cfg.nodes.len()
+    );
+    sink::record(tracer.into_bundle(label));
+    result
+}
+
+/// Execute `spec` under `cfg`, reporting every span of virtual time to
+/// `tracer`.
+///
+/// This is [`execute`] with the observer made explicit: pass
+/// [`NullTracer`] for the zero-overhead path (what `execute` does when
+/// no trace sink is installed) or a [`RecordingTracer`] to capture
+/// per-rank timelines, fabric counters, and a
+/// [`CommProfile`](columbia_obs::CommProfile).
+pub fn execute_traced<T: Tracer>(
+    spec: &WorkloadSpec,
+    cfg: &ExecConfig,
+    tracer: &mut T,
+) -> Result<SimOutcome, SimError> {
     if spec.nranks() != cfg.placement.ranks() {
         return Err(SimError::PlacementMismatch {
             programs: spec.nranks(),
@@ -253,7 +285,13 @@ pub fn execute(spec: &WorkloadSpec, cfg: &ExecConfig) -> Result<SimOutcome, SimE
         .collect();
     let fabric = cfg.fabric();
     let plan = cfg.effective_faults();
-    simulate_with_faults(&programs, &cfg.placement.rank_cpus(), &fabric, &plan)
+    simulate_traced(
+        &programs,
+        &cfg.placement.rank_cpus(),
+        &fabric,
+        &plan,
+        tracer,
+    )
 }
 
 #[cfg(test)]

@@ -24,10 +24,19 @@
 //! [`SimError::ConnectionsExhausted`] depending on the plan's policy.
 //! The fault path is bit-identical to the plain path under
 //! [`FaultPlan::none`].
+//!
+//! Every clock advance is also reported to a
+//! [`Tracer`]: [`simulate_traced`] runs under
+//! any tracer, while the plain entry points use the
+//! [`NullTracer`], whose hooks are empty
+//! inlined functions — the engine is generic over the tracer, so the
+//! disabled path monomorphizes to exactly the untraced code and
+//! produces bit-identical outcomes (regression-tested below).
 
 use std::collections::{HashMap, VecDeque};
 
 use columbia_machine::cluster::CpuId;
+use columbia_obs::{MessageRecord, NullTracer, SpanKind, Tracer};
 
 use crate::collectives;
 use crate::error::{DeadlockReport, PendingOp, SimError};
@@ -205,6 +214,27 @@ pub fn simulate_with_faults(
     base_fabric: &dyn Fabric,
     plan: &FaultPlan,
 ) -> Result<SimOutcome, SimError> {
+    simulate_traced(programs, cpus, base_fabric, plan, &mut NullTracer)
+}
+
+/// Simulate `programs` under a [`FaultPlan`], reporting every span of
+/// virtual time to `tracer`.
+///
+/// The engine is generic over the tracer: with
+/// [`NullTracer`] this is exactly
+/// [`simulate_with_faults`] (the hooks compile away); with a
+/// [`RecordingTracer`](columbia_obs::RecordingTracer) it captures
+/// per-rank timelines (compute, send, recv-wait, collective) plus
+/// network-side delay spans (retransmit backoff, multiplex queuing)
+/// and message-level metrics, without perturbing the simulation —
+/// outcomes are bit-identical either way.
+pub fn simulate_traced<T: Tracer>(
+    programs: &[Vec<Op>],
+    cpus: &[CpuId],
+    base_fabric: &dyn Fabric,
+    plan: &FaultPlan,
+    tracer: &mut T,
+) -> Result<SimOutcome, SimError> {
     if programs.len() != cpus.len() {
         return Err(SimError::PlacementMismatch {
             programs: programs.len(),
@@ -212,6 +242,9 @@ pub fn simulate_with_faults(
         });
     }
     let (mux_delay, oversubscription) = connection_check(cpus, plan)?;
+    if tracer.enabled() && plan.connection_limit.is_some() {
+        tracer.gauge("connection_occupancy", oversubscription);
+    }
     let faulty = FaultyFabric::new(base_fabric, plan);
     let fabric: &dyn Fabric = &faulty;
 
@@ -253,6 +286,7 @@ pub fn simulate_with_faults(
                      mailbox: &mut HashMap<MsgKey, VecDeque<f64>>,
                      send_seq: &mut HashMap<MsgKey, u64>,
                      stats: &mut FaultStats,
+                     tracer: &mut T,
                      r: usize,
                      to: usize,
                      bytes: u64,
@@ -262,15 +296,19 @@ pub fn simulate_with_faults(
         let seq = send_seq.entry(key).or_insert(0);
         let drops = plan.drops_for_message(r, to, tag, *seq);
         *seq += 1;
-        let mut arrival = states[r].clock + cost;
+        let posted = states[r].clock;
+        let mut arrival = posted + cost;
+        let mut retransmit_delay = 0.0;
         if drops > 0 {
             let delay = plan.retransmit_delay(drops);
             arrival += delay;
+            retransmit_delay = delay;
             stats.dropped_messages += 1;
             stats.drop_events += drops as u64;
             stats.retransmit_delay += delay;
         }
-        if mux_delay > 0.0 && cpus[r].node != cpus[to].node {
+        let muxed = mux_delay > 0.0 && cpus[r].node != cpus[to].node;
+        if muxed {
             arrival += mux_delay;
             stats.multiplexed_messages += 1;
             stats.multiplex_delay += mux_delay;
@@ -280,6 +318,31 @@ pub fn simulate_with_faults(
         let overhead = SEND_CPU_OVERHEAD * (drops + 1) as f64;
         states[r].clock += overhead;
         states[r].comm += overhead;
+        if tracer.enabled() {
+            tracer.span(r, SpanKind::Send, posted, posted + overhead);
+            if retransmit_delay > 0.0 {
+                tracer.span(
+                    r,
+                    SpanKind::RetransmitBackoff,
+                    posted + cost,
+                    posted + cost + retransmit_delay,
+                );
+            }
+            if muxed {
+                tracer.span(r, SpanKind::MultiplexQueue, arrival - mux_delay, arrival);
+            }
+            tracer.message(&MessageRecord {
+                from_rank: r,
+                to_rank: to,
+                from_node: cpus[r].node.0,
+                to_node: cpus[to].node.0,
+                bytes,
+                wire_time: cost,
+                drops,
+                retransmit_delay,
+                multiplex_delay: if muxed { mux_delay } else { 0.0 },
+            });
+        }
     };
 
     // Each pop executes at least one op or blocks; total ops bound the
@@ -299,9 +362,13 @@ pub fn simulate_with_faults(
             match op {
                 Op::Compute(secs) => {
                     let secs = secs * plan.compute_factor(cpus[r]);
+                    let started = states[r].clock;
                     states[r].clock += secs;
                     states[r].compute += secs;
                     states[r].pc += 1;
+                    if tracer.enabled() && secs > 0.0 {
+                        tracer.span(r, SpanKind::Compute, started, states[r].clock);
+                    }
                 }
                 Op::Send { to, bytes, tag } => {
                     let to = *to;
@@ -310,6 +377,7 @@ pub fn simulate_with_faults(
                         &mut mailbox,
                         &mut send_seq,
                         &mut stats,
+                        tracer,
                         r,
                         to,
                         *bytes,
@@ -331,6 +399,9 @@ pub fn simulate_with_faults(
                     match mailbox.get_mut(&key).and_then(|q| q.pop_front()) {
                         Some(arrival) => {
                             let done = states[r].clock.max(arrival);
+                            if tracer.enabled() && done > states[r].clock {
+                                tracer.span(r, SpanKind::RecvWait, states[r].clock, done);
+                            }
                             states[r].comm += done - states[r].clock;
                             states[r].clock = done;
                             states[r].pc += 1;
@@ -359,6 +430,7 @@ pub fn simulate_with_faults(
                             &mut mailbox,
                             &mut send_seq,
                             &mut stats,
+                            tracer,
                             r,
                             w,
                             b,
@@ -378,6 +450,9 @@ pub fn simulate_with_faults(
                     match mailbox.get_mut(&key).and_then(|q| q.pop_front()) {
                         Some(arrival) => {
                             let done = states[r].clock.max(arrival);
+                            if tracer.enabled() && done > states[r].clock {
+                                tracer.span(r, SpanKind::RecvWait, states[r].clock, done);
+                            }
                             states[r].comm += done - states[r].clock;
                             states[r].clock = done;
                             states[r].pc += 1;
@@ -411,6 +486,9 @@ pub fn simulate_with_faults(
                         let end = start + cost;
                         coll_arrivals.remove(&seq);
                         for (i, s) in states.iter_mut().enumerate() {
+                            if tracer.enabled() && end > s.clock {
+                                tracer.span(i, SpanKind::Collective, s.clock, end);
+                            }
                             s.comm += end - s.clock;
                             s.clock = end;
                             s.coll_seq += 1;
@@ -869,6 +947,207 @@ mod tests {
         assert!(muxed.faults.multiplex_delay > 0.0);
         assert!(muxed.faults.oversubscription > 1.0);
         assert!(muxed.makespan > clean.makespan);
+    }
+
+    // ---- SimOutcome edge cases ----
+
+    #[test]
+    fn zero_rank_outcome_has_zero_comm_stats() {
+        let out = simulate(&[], &[], &fabric()).unwrap();
+        assert!(out.ranks.is_empty());
+        assert_eq!(out.mean_comm(), 0.0);
+        assert_eq!(out.max_comm(), 0.0);
+        assert_eq!(out.makespan, 0.0);
+    }
+
+    #[test]
+    fn single_rank_mean_equals_max() {
+        let progs = vec![vec![
+            Op::Compute(0.5),
+            Op::Send {
+                to: 0,
+                bytes: 1024,
+                tag: 9,
+            },
+            Op::Recv { from: 0, tag: 9 },
+        ]];
+        let out = simulate(&progs, &place(1), &fabric()).unwrap();
+        assert!(out.ranks[0].comm > 0.0);
+        assert_eq!(out.mean_comm(), out.max_comm());
+        assert_eq!(out.mean_comm(), out.ranks[0].comm);
+    }
+
+    #[test]
+    fn all_compute_program_has_no_comm() {
+        let progs: Vec<Vec<Op>> = (0..4)
+            .map(|r| vec![Op::Compute(0.1 * (r + 1) as f64), Op::Compute(0.2)])
+            .collect();
+        let out = simulate(&progs, &place(4), &fabric()).unwrap();
+        assert_eq!(out.mean_comm(), 0.0);
+        assert_eq!(out.max_comm(), 0.0);
+        assert!((out.makespan - 0.6).abs() < 1e-12);
+    }
+
+    // ---- tracer behaviour ----
+
+    use columbia_obs::{RecordingTracer, SpanKind, Track};
+
+    /// A workload exercising every op kind: compute, send/recv ring,
+    /// exchange pairs, and two collectives.
+    fn mixed_progs(n: usize) -> Vec<Vec<Op>> {
+        (0..n)
+            .map(|r| {
+                vec![
+                    Op::Compute(1e-4 * (1.0 + r as f64)),
+                    Op::Send {
+                        to: (r + 1) % n,
+                        bytes: 32768,
+                        tag: 1,
+                    },
+                    Op::Recv {
+                        from: (r + n - 1) % n,
+                        tag: 1,
+                    },
+                    Op::Barrier,
+                    Op::Exchange {
+                        with: r ^ 1,
+                        bytes: 4096,
+                        tag: 50 + (r | 1) as u64,
+                    },
+                    Op::AllReduce { bytes: 64 },
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recording_tracer_does_not_perturb_the_outcome() {
+        let progs = mixed_progs(8);
+        let plan = FaultPlan::with_drops(7, 0.3);
+        let plain = simulate_with_faults(&progs, &place(8), &fabric(), &plan).unwrap();
+        let mut tracer = RecordingTracer::new();
+        let traced = simulate_traced(&progs, &place(8), &fabric(), &plan, &mut tracer).unwrap();
+        assert_eq!(plain, traced);
+        assert!(!tracer.spans.is_empty());
+        assert_eq!(tracer.n_ranks(), 8);
+    }
+
+    #[test]
+    fn cpu_spans_tile_each_rank_timeline() {
+        let progs = mixed_progs(8);
+        let mut tracer = RecordingTracer::new();
+        let out = simulate_traced(
+            &progs,
+            &place(8),
+            &fabric(),
+            &FaultPlan::none(),
+            &mut tracer,
+        )
+        .unwrap();
+        for (r, rank) in out.ranks.iter().enumerate() {
+            let mut cursor = 0.0;
+            let mut sum = 0.0;
+            for s in tracer
+                .rank_spans(r)
+                .filter(|s| s.kind.track() == Track::Cpu)
+            {
+                assert!(
+                    s.start >= cursor - 1e-12,
+                    "rank {r}: span {s:?} starts before {cursor}"
+                );
+                assert!(s.end >= s.start);
+                cursor = s.end;
+                sum += s.duration();
+            }
+            assert!(
+                (sum - rank.total).abs() < 1e-9,
+                "rank {r}: spans sum to {sum}, clock is {}",
+                rank.total
+            );
+        }
+    }
+
+    #[test]
+    fn faults_surface_as_net_spans_and_message_metrics() {
+        let progs = ring_progs(16, 1 << 16);
+        let plan = FaultPlan::with_drops(11, 0.5);
+        let mut tracer = RecordingTracer::new();
+        let out = simulate_traced(&progs, &place(16), &fabric(), &plan, &mut tracer).unwrap();
+        assert!(out.faults.dropped_messages > 0);
+        let backoffs = tracer
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::RetransmitBackoff)
+            .count() as u64;
+        assert_eq!(backoffs, out.faults.dropped_messages);
+        assert_eq!(tracer.metrics.counter("messages_sent"), 16);
+        assert_eq!(
+            tracer.metrics.counter("messages_dropped"),
+            out.faults.dropped_messages
+        );
+        assert_eq!(
+            tracer.metrics.counter("retransmits"),
+            out.faults.drop_events
+        );
+        assert_eq!(tracer.metrics.counter("bytes_sent"), 16 * (1 << 16));
+        let lat = tracer.metrics.histogram("message_latency_seconds").unwrap();
+        assert_eq!(lat.count(), 16);
+    }
+
+    #[test]
+    fn multiplexed_run_records_occupancy_gauge_and_queue_spans() {
+        let (f, cpus) = two_node_fabric_and_cpus(8);
+        let plan = FaultPlan::none().with_connection_limit(ConnectionLimit {
+            cards_per_node: 1,
+            connections_per_card: 32,
+            policy: ConnectionPolicy::Multiplex {
+                queue_penalty: 2.0e-6,
+            },
+        });
+        let progs = ring_progs(16, 4096);
+        let mut tracer = RecordingTracer::new();
+        let out = simulate_traced(&progs, &cpus, &f, &plan, &mut tracer).unwrap();
+        assert!(out.faults.multiplexed_messages > 0);
+        let mux_spans = tracer
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::MultiplexQueue)
+            .count() as u64;
+        assert_eq!(mux_spans, out.faults.multiplexed_messages);
+        let occ = tracer.metrics.gauge_value("connection_occupancy").unwrap();
+        assert!((occ - out.faults.oversubscription).abs() < 1e-12);
+        // Cross-node traffic shows up in the per-link byte ledger.
+        assert!(tracer
+            .metrics
+            .links_by_bytes()
+            .iter()
+            .any(|((a, b), bytes)| a != b && *bytes > 0));
+    }
+
+    #[test]
+    fn profile_attribution_matches_engine_accounting() {
+        let progs = mixed_progs(8);
+        let mut tracer = RecordingTracer::new();
+        let out = simulate_traced(
+            &progs,
+            &place(8),
+            &fabric(),
+            &FaultPlan::none(),
+            &mut tracer,
+        )
+        .unwrap();
+        let profile = tracer.profile();
+        assert!((profile.makespan - out.makespan).abs() < 1e-9);
+        for (r, rank) in out.ranks.iter().enumerate() {
+            let p = &profile.ranks[r];
+            assert!((p.compute - rank.compute).abs() < 1e-9, "rank {r} compute");
+            // The engine's "comm" bundles active comm and blocked wait;
+            // the profile splits them.
+            assert!((p.comm + p.wait - rank.comm).abs() < 1e-9, "rank {r} comm");
+            assert!((p.accounted() - rank.total).abs() < 1e-9, "rank {r} total");
+        }
+        // Two collectives per rank ⇒ three phases (last may be empty).
+        assert!(profile.phases.len() >= 2);
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //! * [`error`] — the typed [`error::SimError`] every failure surfaces
 //!   as, including a per-rank [`error::DeadlockReport`].
 //!
+//! The engine is instrumented: [`simulate_traced`] reports every span
+//! of virtual time (compute, send, recv-wait, collective, plus
+//! network-side retransmit/multiplex delays) to a
+//! [`columbia_obs::Tracer`], at zero cost when the
+//! [`columbia_obs::NullTracer`] is used (re-exported here as [`obs`]).
+//!
 //! All randomness is seeded; a simulation is a pure function of its
 //! inputs — including fault injection, which is keyed off stable message
 //! identities rather than schedule order.
@@ -36,7 +42,8 @@ pub mod fabric;
 pub mod fault;
 pub mod patterns;
 
-pub use engine::{simulate, simulate_with_faults, Op, RankResult, SimOutcome};
+pub use columbia_obs as obs;
+pub use engine::{simulate, simulate_traced, simulate_with_faults, Op, RankResult, SimOutcome};
 pub use error::{DeadlockReport, PendingOp, SimError};
 pub use fabric::{ClusterFabric, Fabric, MptVersion};
 pub use fault::{

@@ -3,7 +3,8 @@
 use columbia_machine::cluster::{ClusterConfig, CpuId};
 use columbia_machine::node::NodeKind;
 use columbia_simnet::fabric::{ClusterFabric, Fabric};
-use columbia_simnet::{simulate, simulate_with_faults, FaultPlan, Op};
+use columbia_simnet::obs::{RecordingTracer, Track};
+use columbia_simnet::{simulate, simulate_traced, simulate_with_faults, FaultPlan, Op};
 use proptest::prelude::*;
 
 fn fabric() -> ClusterFabric {
@@ -177,6 +178,51 @@ proptest! {
         ).unwrap();
         prop_assert!(hi.makespan >= lo.makespan);
         prop_assert!(hi.faults.drop_events >= lo.faults.drop_events);
+    }
+
+    #[test]
+    fn recorded_spans_are_monotone_and_account_for_every_second(
+        n in 2usize..14,
+        bytes in 1u64..500_000,
+        compute in 1e-6f64..1e-3,
+        seed in 0u64..u64::MAX,
+        drop_prob in 0.0f64..0.6,
+        with_barrier in prop::sample::select(vec![false, true]),
+    ) {
+        // The tracer's CPU-track spans must tile each rank's timeline:
+        // per-rank monotone, non-overlapping, durations summing to the
+        // rank's final clock — under faults and collectives alike.
+        let mut programs = ring(n, bytes, compute);
+        if with_barrier {
+            for p in &mut programs {
+                p.push(Op::Barrier);
+                p.push(Op::AllReduce { bytes: 128 });
+            }
+        }
+        let cpus: Vec<CpuId> = (0..n as u32).map(|c| CpuId::new(0, c)).collect();
+        let plan = FaultPlan::with_drops(seed, drop_prob);
+        let mut tracer = RecordingTracer::new();
+        let traced = simulate_traced(&programs, &cpus, &fabric(), &plan, &mut tracer).unwrap();
+        // Tracing never perturbs the simulation.
+        let plain = simulate_with_faults(&programs, &cpus, &fabric(), &plan).unwrap();
+        prop_assert_eq!(&plain, &traced);
+        for (r, rank) in traced.ranks.iter().enumerate() {
+            let mut cursor = 0.0f64;
+            let mut sum = 0.0f64;
+            for s in tracer.rank_spans(r).filter(|s| s.kind.track() == Track::Cpu) {
+                prop_assert!(s.end >= s.start, "negative span {s:?}");
+                prop_assert!(
+                    s.start >= cursor - 1e-12,
+                    "rank {} span {:?} overlaps previous end {}", r, s, cursor
+                );
+                cursor = s.end;
+                sum += s.end - s.start;
+            }
+            prop_assert!(
+                (sum - rank.total).abs() < 1e-9,
+                "rank {}: span sum {} != final clock {}", r, sum, rank.total
+            );
+        }
     }
 
     #[test]

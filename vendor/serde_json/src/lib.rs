@@ -1,10 +1,23 @@
 //! Minimal offline stand-in for `serde_json`.
 //!
 //! The real serde data model is not available offline (the `serde`
-//! stub's derives are no-ops), so this crate only offers the helpers a
-//! hand-rolled JSON renderer needs: correct string escaping per RFC
-//! 8259. Workspace code that used `serde_json::to_string_pretty`
-//! builds its JSON through these helpers instead.
+//! stub's derives are no-ops), so this crate offers the pieces the
+//! workspace actually needs to emit and check JSON:
+//!
+//! * correct string escaping per RFC 8259 ([`escape_str`], [`quote`],
+//!   [`array`]) for hand-assembled fragments;
+//! * an order-preserving [`Value`] tree with [`to_string`] /
+//!   [`to_string_pretty`] renderers, standing in for
+//!   `serde_json::to_string_pretty(&T)` — callers build the `Value`
+//!   explicitly instead of deriving it;
+//! * a strict recursive-descent parser ([`from_str`]) so round-trip
+//!   tests and trace validators work without a network dependency.
+//!
+//! Object key order is preserved (insertion order), which the real
+//! crate only offers behind the `preserve_order` feature; the
+//! workspace's reports rely on stable field order.
+
+use std::fmt;
 
 /// Escape `s` as the *contents* of a JSON string (no surrounding quotes).
 pub fn escape_str(s: &str) -> String {
@@ -36,6 +49,416 @@ pub fn array(items: impl IntoIterator<Item = String>) -> String {
     format!("[{}]", inner.join(","))
 }
 
+/// A JSON value tree. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers round-trip exactly
+    /// up to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Empty object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Insert (or replace) `key` in an object; panics on non-objects.
+    pub fn set(&mut self, key: &str, value: Value) -> &mut Self {
+        let Value::Object(entries) = self else {
+            panic!("Value::set on a non-object");
+        };
+        if let Some(e) = entries.iter_mut().find(|(k, _)| k == key) {
+            e.1 = value;
+        } else {
+            entries.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// Look up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&render_number(*n)),
+            Value::String(s) => out.push_str(&quote(s)),
+            Value::Array(items) => {
+                write_seq(out, indent, level, '[', ']', items.len(), |out, i, lvl| {
+                    items[i].write(out, indent, lvl);
+                })
+            }
+            Value::Object(entries) => {
+                write_seq(out, indent, level, '{', '}', entries.len(), |out, i, lvl| {
+                    let (k, v) = &entries[i];
+                    out.push_str(&quote(k));
+                    out.push_str(if indent.is_some() { ": " } else { ":" });
+                    v.write(out, indent, lvl);
+                })
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (level + 1)));
+        }
+        item(out, i, level + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * level));
+    }
+    out.push(close);
+}
+
+/// Render a number the way serde_json does: integers without a
+/// fractional part, everything else via `f64`'s shortest display form.
+fn render_number(n: f64) -> String {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; serde_json errors, we degrade to null.
+        return "null".to_string();
+    }
+    if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string(self))
+    }
+}
+
+/// Compact rendering of a [`Value`].
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    v.write(&mut out, None, 0);
+    out
+}
+
+/// Pretty rendering (2-space indent), matching
+/// `serde_json::to_string_pretty`.
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    v.write(&mut out, Some(2), 0);
+    out
+}
+
+/// A parse failure: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parse a complete JSON document into a [`Value`].
+///
+/// Strict: trailing garbage, trailing commas, and bare tokens are
+/// errors, so a truncated export fails loudly.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array_value(),
+            Some(b'{') => self.object_value(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array_value(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object_value(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue; // unicode_escape advanced pos itself
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar (input is &str, so
+                    // the byte stream is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parse the `XXXX` of a `\uXXXX` escape (cursor on the `u`),
+    /// including surrogate pairs; leaves the cursor past the escape.
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        self.pos += 1; // consume 'u'
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if self.peek() == Some(b'\\') {
+                self.pos += 1;
+                self.expect(b'u')?;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate pair"));
+                }
+            }
+            return Err(self.err("unpaired surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err(format!("invalid number '{text}'")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +473,59 @@ mod tests {
     #[test]
     fn arrays_join() {
         assert_eq!(array([quote("x"), "1".to_string()]), "[\"x\",1]");
+    }
+
+    #[test]
+    fn value_renders_compact_and_pretty() {
+        let mut v = Value::object();
+        v.set("id", Value::String("Fig. 9".into()));
+        v.set("n", Value::Number(3.0));
+        v.set("rows", Value::Array(vec![Value::Bool(true), Value::Null]));
+        assert_eq!(
+            to_string(&v),
+            "{\"id\":\"Fig. 9\",\"n\":3,\"rows\":[true,null]}"
+        );
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.contains("  \"id\": \"Fig. 9\",\n"));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn parses_what_it_prints() {
+        let mut v = Value::object();
+        v.set("a", Value::Number(1.5));
+        v.set("b", Value::Array(vec![Value::String("x\ny".into())]));
+        v.set("c", Value::object());
+        for text in [to_string(&v), to_string_pretty(&v)] {
+            assert_eq!(from_str(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{\"a\":1,}").is_err());
+        assert!(from_str("[1,2] trailing").is_err());
+        assert!(from_str("{\"a\" 1}").is_err());
+        assert!(from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parses_numbers_and_escapes() {
+        assert_eq!(from_str("-1.5e3").unwrap(), Value::Number(-1500.0));
+        assert_eq!(
+            from_str("\"\\u0041\\ud83d\\ude00\"").unwrap(),
+            Value::String("A😀".into())
+        );
+        assert_eq!(from_str("12").unwrap().as_f64(), Some(12.0));
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = from_str("{\"z\":1,\"a\":2}").unwrap();
+        let Value::Object(entries) = &v else { panic!() };
+        assert_eq!(entries[0].0, "z");
+        assert_eq!(entries[1].0, "a");
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(2.0));
     }
 }
