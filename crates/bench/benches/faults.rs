@@ -1,8 +1,13 @@
 //! Fault-injection benches: engine overhead and makespan inflation of
-//! a faulted fabric versus the healthy baseline.
+//! a faulted fabric versus the healthy baseline — plus the mailbox
+//! fast-path before/after comparison, reported as a machine-readable
+//! `BENCH JSON` line (CI greps these into the bench artifact).
+
+use std::time::Instant;
 
 use columbia_machine::cluster::{ClusterConfig, CpuId, InterNodeFabric, NodeId};
 use columbia_machine::node::NodeKind;
+use columbia_simnet::engine::simulate_reference_mailbox;
 use columbia_simnet::fabric::{ClusterFabric, MptVersion};
 use columbia_simnet::{simulate_with_faults, FaultPlan, Op};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -65,6 +70,57 @@ fn bench_fault_rates(c: &mut Criterion) {
     g.finish();
 }
 
+/// Mean wall nanoseconds per call of `f` over `iters` timed runs
+/// (after `warmup` discarded ones).
+fn time_ns(warmup: u32, iters: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// The engine serial hot path, before and after the mailbox index:
+/// 512 ranks, 10 ring rounds (~15K messages pushed/popped per run).
+/// The `BENCH JSON` line records both sides and the speedup so the
+/// comparison lands in the CI bench artifact.
+fn bench_mailbox_fastpath(c: &mut Criterion) {
+    let (programs, cpus, fabric) = ring_setup(256);
+    let plan = FaultPlan::none();
+    let indexed_out = simulate_with_faults(&programs, &cpus, &fabric, &plan).unwrap();
+    let reference_out = simulate_reference_mailbox(&programs, &cpus, &fabric, &plan).unwrap();
+    assert_eq!(
+        indexed_out, reference_out,
+        "mailbox implementations must agree before they are compared"
+    );
+
+    let reference_ns = time_ns(2, 10, || {
+        simulate_reference_mailbox(&programs, &cpus, &fabric, &plan).unwrap();
+    });
+    let indexed_ns = time_ns(2, 10, || {
+        simulate_with_faults(&programs, &cpus, &fabric, &plan).unwrap();
+    });
+    println!(
+        "BENCH JSON {{\"bench\":\"mailbox_ring_512\",\"reference_ns_per_iter\":{:.0},\"indexed_ns_per_iter\":{:.0},\"speedup\":{:.3}}}",
+        reference_ns,
+        indexed_ns,
+        reference_ns / indexed_ns,
+    );
+
+    let mut g = c.benchmark_group("mailbox");
+    g.sample_size(10);
+    g.bench_function("ring_512_reference_hashmap", |b| {
+        b.iter(|| simulate_reference_mailbox(&programs, &cpus, &fabric, &plan).unwrap());
+    });
+    g.bench_function("ring_512_indexed", |b| {
+        b.iter(|| simulate_with_faults(&programs, &cpus, &fabric, &plan).unwrap());
+    });
+    g.finish();
+}
+
 fn bench_fault_kinds(c: &mut Criterion) {
     let (programs, cpus, fabric) = ring_setup(256);
     let mut g = c.benchmark_group("fault_kinds");
@@ -85,5 +141,10 @@ fn bench_fault_kinds(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fault_rates, bench_fault_kinds);
+criterion_group!(
+    benches,
+    bench_mailbox_fastpath,
+    bench_fault_rates,
+    bench_fault_kinds
+);
 criterion_main!(benches);

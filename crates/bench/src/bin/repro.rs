@@ -3,11 +3,18 @@
 //! ```text
 //! repro                       # run everything
 //! repro --exp table2          # one experiment
+//! repro --jobs 4              # fan sweep points across 4 threads
 //! repro --json                # machine-readable output
 //! repro --list                # experiment ids
 //! repro --trace out.json      # capture a Chrome/Perfetto timeline
 //! repro --metrics out.json    # dump fabric counters + CommProfiles
 //! ```
+//!
+//! `--jobs N` runs each experiment's sweep points on an N-thread
+//! work-stealing pool (default: the machine's available parallelism;
+//! `--jobs 1` is the plain serial path). Collation is deterministic,
+//! so the output is byte-identical for every N — CI diffs `--jobs 2`
+//! against `--jobs 1` as a gate.
 //!
 //! `--trace` and `--metrics` install the global trace sink
 //! (`columbia_obs::sink`) before running the selected experiments:
@@ -16,8 +23,9 @@
 //! finishes. Load the trace file at <https://ui.perfetto.dev> — one
 //! process per simulation, one CPU track and one net track per rank.
 
-use columbia::experiments::{run, Experiment};
+use columbia::experiments::{run_with_jobs, Experiment};
 use columbia::obs::{chrome_trace, sink};
+use columbia::par;
 use serde_json::Value;
 
 /// Parse `--flag <value>` out of the argument list.
@@ -51,6 +59,16 @@ fn main() {
     }
     let trace_path = flag_value(&args, "--trace");
     let metrics_path = flag_value(&args, "--metrics");
+    let jobs = match args.iter().position(|a| a == "--jobs") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(j) if j >= 1 => j,
+            _ => {
+                eprintln!("--jobs requires a thread count >= 1");
+                std::process::exit(2);
+            }
+        },
+        None => par::available_parallelism(),
+    };
     let selected: Vec<Experiment> = match args.iter().position(|a| a == "--exp") {
         Some(i) => {
             let name = args.get(i + 1).unwrap_or_else(|| {
@@ -72,7 +90,7 @@ fn main() {
         sink::install();
     }
     for exp in selected {
-        let report = run(exp);
+        let report = run_with_jobs(exp, jobs);
         if json {
             println!("{}", report.to_json());
         } else {

@@ -3,6 +3,13 @@
 //! Every experiment regenerates the corresponding artifact as a
 //! [`Report`]; `crates/bench`'s `repro` binary prints them, and
 //! EXPERIMENTS.md records the comparison against the paper.
+//!
+//! Each experiment is decomposed into a [`SweepPlan`] of independent
+//! sweep points (one isolated simulation family per point) so the
+//! whole figure set can fan out across OS threads via `repro --jobs N`.
+//! Collation is deterministic — results are keyed by sweep index and
+//! reduced in canonical order — so the report from a parallel run is
+//! bit-identical to a serial one (see [`crate::sweep`]).
 
 use columbia_hpcc::beff::{self, Pattern};
 use columbia_hpcc::{dgemm, stream};
@@ -26,6 +33,7 @@ use columbia_simnet::{ConnectionLimit, ConnectionPolicy, FaultPlan, SimError};
 
 use crate::obs_report::hotspot_report;
 use crate::report::{gbs, gf, secs, Report};
+use crate::sweep::{PointOutput, SweepPlan};
 
 /// Every table and figure of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,40 +126,64 @@ impl Experiment {
         match s {
             // BT-MZ process/thread combinations are Fig. 9.
             "bt_mz" | "bt-mz" => return Some(Experiment::Fig9),
+            // The §4.1.1 DGEMM/STREAM table is the HPC Challenge slice.
+            "hpcc" => return Some(Experiment::DgemmStream),
             _ => {}
         }
         Experiment::ALL.iter().copied().find(|e| e.name() == s)
     }
 }
 
-/// Run one experiment, surfacing any simulation failure as its typed
-/// [`SimError`].
-pub fn try_run(exp: Experiment) -> Result<Report, SimError> {
+/// Decompose one experiment into its [`SweepPlan`] of independent
+/// sweep points.
+pub fn plan(exp: Experiment) -> SweepPlan {
     match exp {
-        Experiment::Table1 => Ok(table1()),
-        Experiment::Fig5 => Ok(fig5()),
-        Experiment::DgemmStream => Ok(dgemm_stream()),
-        Experiment::Fig6 => fig6(),
-        Experiment::Table2 => Ok(table2()),
-        Experiment::Table3 => table3(),
-        Experiment::Stride => Ok(stride()),
-        Experiment::Fig7 => fig7(),
-        Experiment::Fig8 => fig8(),
-        Experiment::Table4 => table4(),
-        Experiment::Fig9 => fig9(),
-        Experiment::Fig10 => Ok(fig10()),
-        Experiment::Fig11 => fig11(),
-        Experiment::Table5 => table5(),
-        Experiment::Table6 => table6(),
-        Experiment::Degraded => degraded(),
-        Experiment::Trace => trace(),
+        Experiment::Table1 => table1_plan(),
+        Experiment::Fig5 => fig5_plan(),
+        Experiment::DgemmStream => dgemm_stream_plan(),
+        Experiment::Fig6 => fig6_plan(),
+        Experiment::Table2 => table2_plan(),
+        Experiment::Table3 => table3_plan(),
+        Experiment::Stride => stride_plan(),
+        Experiment::Fig7 => fig7_plan(),
+        Experiment::Fig8 => fig8_plan(),
+        Experiment::Table4 => table4_plan(),
+        Experiment::Fig9 => fig9_plan(),
+        Experiment::Fig10 => fig10_plan(),
+        Experiment::Fig11 => fig11_plan(),
+        Experiment::Table5 => table5_plan(),
+        Experiment::Table6 => table6_plan(),
+        Experiment::Degraded => degraded_plan(),
+        Experiment::Trace => trace_plan(),
     }
 }
 
-/// Run one experiment; a failed simulation becomes a diagnostic report
-/// rather than a panic, so sweeps always produce output.
+/// Run one experiment's sweep points across `jobs` worker threads,
+/// surfacing any simulation failure as its typed [`SimError`] (the
+/// lowest-indexed failing point, under any scheduling).
+pub fn try_run_with_jobs(exp: Experiment, jobs: usize) -> Result<Report, SimError> {
+    plan(exp).run_with_jobs(jobs)
+}
+
+/// Run one experiment serially, surfacing any simulation failure as
+/// its typed [`SimError`].
+pub fn try_run(exp: Experiment) -> Result<Report, SimError> {
+    try_run_with_jobs(exp, 1)
+}
+
+/// Run one experiment across `jobs` worker threads; a failed
+/// simulation becomes a diagnostic report rather than a panic, so
+/// sweeps always produce output. Bit-identical to [`run`] for any
+/// `jobs` (the determinism property the test suite asserts).
+pub fn run_with_jobs(exp: Experiment, jobs: usize) -> Report {
+    try_run_with_jobs(exp, jobs).unwrap_or_else(|err| failure_report(exp, &err))
+}
+
+/// Run one experiment serially; a failed simulation becomes a
+/// diagnostic report rather than a panic, so sweeps always produce
+/// output.
 pub fn run(exp: Experiment) -> Report {
-    try_run(exp).unwrap_or_else(|err| failure_report(exp, &err))
+    run_with_jobs(exp, 1)
 }
 
 /// Render a [`SimError`] as a report so failures are first-class
@@ -169,86 +201,100 @@ fn failure_report(exp: Experiment, err: &SimError) -> Report {
     r
 }
 
-fn table1() -> Report {
-    let mut r = Report::new(
+fn table1_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Table 1",
         "Characteristics of the two types of Altix nodes used in Columbia",
         &["Characteristic", "3700", "BX2a", "BX2b"],
     );
-    let nodes: Vec<_> = NodeKind::ALL
-        .iter()
-        .map(|&k| NodeModel::new(k).table1_row())
-        .collect();
-    for ((a, b), c) in nodes[0].iter().zip(&nodes[1]).zip(&nodes[2]) {
-        r.push_row(vec![a.0.to_string(), a.1.clone(), b.1.clone(), c.1.clone()]);
-    }
-    let c = ClusterConfig::columbia();
-    r.note(format!(
-        "cluster: {} nodes, {} CPUs total; pure MPI fully usable on up to {} nodes",
-        c.nodes.len(),
-        c.total_cpus(),
-        (2..8)
-            .take_while(|&n| c.pure_mpi_fully_usable(n))
-            .last()
-            .unwrap_or(1)
-    ));
-    r
+    plan.point_ok(|| {
+        let mut out = PointOutput::default();
+        let nodes: Vec<_> = NodeKind::ALL
+            .iter()
+            .map(|&k| NodeModel::new(k).table1_row())
+            .collect();
+        for ((a, b), c) in nodes[0].iter().zip(&nodes[1]).zip(&nodes[2]) {
+            out.rows
+                .push(vec![a.0.to_string(), a.1.clone(), b.1.clone(), c.1.clone()]);
+        }
+        let c = ClusterConfig::columbia();
+        out.with_note(format!(
+            "cluster: {} nodes, {} CPUs total; pure MPI fully usable on up to {} nodes",
+            c.nodes.len(),
+            c.total_cpus(),
+            (2..8)
+                .take_while(|&n| c.pure_mpi_fully_usable(n))
+                .last()
+                .unwrap_or(1)
+        ))
+    });
+    plan
 }
 
-fn fig5() -> Report {
-    let mut r = Report::new(
+fn fig5_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Fig. 5",
         "b_eff bandwidth and latency on three node types (in-node)",
         &["pattern", "node", "CPUs", "latency", "bandwidth GB/s"],
     );
     let cpus = [4u32, 16, 64, 256, 512];
     for kind in NodeKind::ALL {
-        let sweep = beff::in_node_sweep(kind, &cpus);
-        for pattern in Pattern::ALL {
-            for &n in &cpus {
-                let p = sweep.get(pattern, n).unwrap();
-                r.push_row(vec![
-                    pattern.name().to_string(),
-                    kind.name().to_string(),
-                    n.to_string(),
-                    secs(p.latency),
-                    gbs(p.bandwidth),
-                ]);
+        plan.point_ok(move || {
+            let sweep = beff::in_node_sweep(kind, &cpus);
+            let mut out = PointOutput::default();
+            for pattern in Pattern::ALL {
+                for &n in &cpus {
+                    let p = sweep.get(pattern, n).unwrap();
+                    out.rows.push(vec![
+                        pattern.name().to_string(),
+                        kind.name().to_string(),
+                        n.to_string(),
+                        secs(p.latency),
+                        gbs(p.bandwidth),
+                    ]);
+                }
             }
-        }
+            out
+        });
     }
-    r.note("paper: random-ring latency separates the BX2 from the 3700 at high CPU counts");
-    r
+    plan.note("paper: random-ring latency separates the BX2 from the 3700 at high CPU counts");
+    plan
 }
 
-fn dgemm_stream() -> Report {
-    let mut r = Report::new(
+fn dgemm_stream_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "§4.1.1",
         "DGEMM and STREAM on the three node types",
         &["benchmark", "node", "per-CPU result"],
     );
     for kind in NodeKind::ALL {
-        let d = dgemm::simulate(kind, 1);
-        r.push_row(vec![
-            "DGEMM".into(),
-            kind.name().into(),
-            format!("{} Gflop/s", gf(d.gflops_per_cpu)),
-        ]);
+        plan.point_ok(move || {
+            let d = dgemm::simulate(kind, 1);
+            PointOutput::row(vec![
+                "DGEMM".into(),
+                kind.name().into(),
+                format!("{} Gflop/s", gf(d.gflops_per_cpu)),
+            ])
+        });
     }
     for kind in NodeKind::ALL {
-        let s = stream::simulate(kind, 512, 1);
-        r.push_row(vec![
-            "STREAM triad (dense)".into(),
-            kind.name().into(),
-            format!("{} GB/s", gbs(s.triad())),
-        ]);
+        plan.point_ok(move || {
+            let s = stream::simulate(kind, 512, 1);
+            PointOutput::row(vec![
+                "STREAM triad (dense)".into(),
+                kind.name().into(),
+                format!("{} GB/s", gbs(s.triad())),
+            ])
+        });
     }
-    r.note("paper: DGEMM 5.75 Gflop/s on BX2b, +6% over 3700/BX2a; STREAM ~2 GB/s dense, 3700 +1%");
-    r
+    plan.note(
+        "paper: DGEMM 5.75 Gflop/s on BX2b, +6% over 3700/BX2a; STREAM ~2 GB/s dense, 3700 +1%",
+    );
+    plan
 }
 
-fn fig6() -> Result<Report, SimError> {
-    let mut r = Report::new(
+fn fig6_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Fig. 6",
         "NPB class B per-CPU Gflop/s on three node types",
         &["bench", "paradigm", "node", "CPUs", "Gflop/s per CPU"],
@@ -257,210 +303,234 @@ fn fig6() -> Result<Report, SimError> {
     for bench in NpbBenchmark::ALL {
         for paradigm in Paradigm::ALL {
             for kind in NodeKind::ALL {
-                for &n in &counts {
-                    let g = gflops_per_cpu(
-                        bench,
-                        NpbClass::B,
-                        kind,
-                        paradigm,
-                        n,
-                        CompilerVersion::V7_1,
-                    )?;
-                    r.push_row(vec![
-                        bench.name().into(),
-                        paradigm.name().into(),
-                        kind.name().into(),
-                        n.to_string(),
-                        gf(g),
-                    ]);
-                }
+                plan.point(move || {
+                    let mut out = PointOutput::default();
+                    for &n in &counts {
+                        let g = gflops_per_cpu(
+                            bench,
+                            NpbClass::B,
+                            kind,
+                            paradigm,
+                            n,
+                            CompilerVersion::V7_1,
+                        )?;
+                        out.rows.push(vec![
+                            bench.name().into(),
+                            paradigm.name().into(),
+                            kind.name().into(),
+                            n.to_string(),
+                            gf(g),
+                        ]);
+                    }
+                    Ok(out)
+                });
             }
         }
     }
-    r.note("paper anchors: FT(MPI) ~2x on BX2 at 256; MG/BT jump ~50% on BX2b at 64; OpenMP gap up to 2x at 128 threads");
-    Ok(r)
+    plan.note("paper anchors: FT(MPI) ~2x on BX2 at 256; MG/BT jump ~50% on BX2b at 64; OpenMP gap up to 2x at 128 threads");
+    plan
 }
 
-fn table2() -> Report {
-    let mut r = Report::new(
+fn table2_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Table 2",
         "INS3D seconds per physical time step, 36 MLP groups",
         &["CPUs (groups x threads)", "3700", "BX2b"],
     );
     // The 1x1 baseline row, then 36 groups with the paper's thread set.
-    let base3700 = iteration_seconds(&Ins3dConfig {
-        kind: NodeKind::Altix3700,
-        groups: 1,
-        threads: 1,
-        compiler: CompilerVersion::V7_1,
+    plan.point_ok(|| {
+        let base3700 = iteration_seconds(&Ins3dConfig {
+            kind: NodeKind::Altix3700,
+            groups: 1,
+            threads: 1,
+            compiler: CompilerVersion::V7_1,
+        });
+        let base_bx2b = iteration_seconds(&Ins3dConfig {
+            kind: NodeKind::Bx2b,
+            groups: 1,
+            threads: 1,
+            compiler: CompilerVersion::V7_1,
+        });
+        PointOutput::row(vec!["1 (1x1)".into(), secs(base3700), secs(base_bx2b)])
     });
-    let base_bx2b = iteration_seconds(&Ins3dConfig {
-        kind: NodeKind::Bx2b,
-        groups: 1,
-        threads: 1,
-        compiler: CompilerVersion::V7_1,
-    });
-    r.push_row(vec!["1 (1x1)".into(), secs(base3700), secs(base_bx2b)]);
     for threads in [1usize, 2, 4, 8, 12, 14] {
-        let t3 = iteration_seconds(&Ins3dConfig::table2(NodeKind::Altix3700, threads));
-        let tb = iteration_seconds(&Ins3dConfig::table2(NodeKind::Bx2b, threads));
-        r.push_row(vec![
-            format!("{} (36x{})", 36 * threads, threads),
-            secs(t3),
-            secs(tb),
-        ]);
+        plan.point_ok(move || {
+            let t3 = iteration_seconds(&Ins3dConfig::table2(NodeKind::Altix3700, threads));
+            let tb = iteration_seconds(&Ins3dConfig::table2(NodeKind::Bx2b, threads));
+            PointOutput::row(vec![
+                format!("{} (36x{})", 36 * threads, threads),
+                secs(t3),
+                secs(tb),
+            ])
+        });
     }
-    r.note("paper: BX2b ~50% faster; scaling good to 8 threads, decaying beyond");
-    r
+    plan.note("paper: BX2b ~50% faster; scaling good to 8 threads, decaying beyond");
+    plan
 }
 
-fn table3() -> Result<Report, SimError> {
-    let mut r = Report::new(
+fn table3_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Table 3",
         "OVERFLOW-D per-step times, 3700 vs BX2b (NUMAlink4, in-node)",
         &["CPUs", "3700 comm", "3700 exec", "BX2b comm", "BX2b exec"],
     );
     for cpus in [32usize, 64, 128, 256, 508] {
-        let a = step_times(&OverflowConfig::table3(NodeKind::Altix3700, cpus))?;
-        let b = step_times(&OverflowConfig::table3(NodeKind::Bx2b, cpus))?;
-        r.push_row(vec![
-            cpus.to_string(),
-            secs(a.comm),
-            secs(a.exec),
-            secs(b.comm),
-            secs(b.exec),
-        ]);
+        plan.point(move || {
+            let a = step_times(&OverflowConfig::table3(NodeKind::Altix3700, cpus))?;
+            let b = step_times(&OverflowConfig::table3(NodeKind::Bx2b, cpus))?;
+            Ok(PointOutput::row(vec![
+                cpus.to_string(),
+                secs(a.comm),
+                secs(a.exec),
+                secs(b.comm),
+                secs(b.exec),
+            ]))
+        });
     }
-    r.note(
+    plan.note(
         "paper: BX2b ~2x faster on average; 3700 comm/exec climbs from ~0.3 (256) past 0.5 (508)",
     );
-    Ok(r)
+    plan
 }
 
-fn stride() -> Report {
-    let mut r = Report::new(
+fn stride_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "§4.2",
         "CPU stride study: per-CPU STREAM triad and DGEMM",
         &["benchmark", "stride", "per-CPU result"],
     );
     for s in [1u32, 2, 4] {
-        let st = stream::simulate(NodeKind::Altix3700, 128, s);
-        r.push_row(vec![
-            "STREAM triad".into(),
-            s.to_string(),
-            format!("{} GB/s", gbs(st.triad())),
-        ]);
+        plan.point_ok(move || {
+            let st = stream::simulate(NodeKind::Altix3700, 128, s);
+            PointOutput::row(vec![
+                "STREAM triad".into(),
+                s.to_string(),
+                format!("{} GB/s", gbs(st.triad())),
+            ])
+        });
     }
     for s in [1u32, 2, 4] {
-        let d = dgemm::simulate(NodeKind::Altix3700, s);
-        r.push_row(vec![
-            "DGEMM".into(),
-            s.to_string(),
-            format!("{} Gflop/s", gf(d.gflops_per_cpu)),
-        ]);
+        plan.point_ok(move || {
+            let d = dgemm::simulate(NodeKind::Altix3700, s);
+            PointOutput::row(vec![
+                "DGEMM".into(),
+                s.to_string(),
+                format!("{} Gflop/s", gf(d.gflops_per_cpu)),
+            ])
+        });
     }
-    r.note("paper: triad 1.9x at stride 2 (bus unshared); DGEMM moves <0.5%");
-    r
+    plan.note("paper: triad 1.9x at stride 2 (bus unshared); DGEMM moves <0.5%");
+    plan
 }
 
-fn fig7() -> Result<Report, SimError> {
-    let mut r = Report::new(
+fn fig7_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Fig. 7",
         "Pinning vs no pinning, SP-MZ class C on BX2b",
         &["CPUs", "threads/proc", "pinned s/step", "unpinned s/step"],
     );
     for (procs, threads) in [(64usize, 1usize), (32, 2), (16, 8), (8, 16), (4, 32)] {
-        let mut cfg = MzRunConfig::new(MzBenchmark::SpMz, MzClass::C, procs, threads);
-        let tp = mz_run(&cfg)?.seconds_per_step;
-        cfg.pinning = Pinning::Unpinned;
-        let tu = mz_run(&cfg)?.seconds_per_step;
-        r.push_row(vec![
-            (procs * threads).to_string(),
-            threads.to_string(),
-            secs(tp),
-            secs(tu),
-        ]);
+        plan.point(move || {
+            let mut cfg = MzRunConfig::new(MzBenchmark::SpMz, MzClass::C, procs, threads);
+            let tp = mz_run(&cfg)?.seconds_per_step;
+            cfg.pinning = Pinning::Unpinned;
+            let tu = mz_run(&cfg)?.seconds_per_step;
+            Ok(PointOutput::row(vec![
+                (procs * threads).to_string(),
+                threads.to_string(),
+                secs(tp),
+                secs(tu),
+            ]))
+        });
     }
-    r.note("paper: pinning matters most for many threads/proc; pure process mode barely affected");
-    Ok(r)
+    plan.note(
+        "paper: pinning matters most for many threads/proc; pure process mode barely affected",
+    );
+    plan
 }
 
-fn fig8() -> Result<Report, SimError> {
-    let mut r = Report::new(
+fn fig8_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Fig. 8",
         "Compiler versions on the OpenMP NPBs (BX2b, class B)",
         &["bench", "threads", "7.1", "8.0", "8.1", "9.0b"],
     );
     for bench in NpbBenchmark::ALL {
         for threads in [16u32, 64] {
-            let mut g = Vec::new();
-            for &v in CompilerVersion::ALL.iter() {
-                g.push(gf(gflops_per_cpu(
-                    bench,
-                    NpbClass::B,
-                    NodeKind::Bx2b,
-                    Paradigm::OpenMp,
-                    threads,
-                    v,
-                )?));
-            }
-            r.push_row(vec![
-                bench.name().into(),
-                threads.to_string(),
-                g[0].clone(),
-                g[1].clone(),
-                g[2].clone(),
-                g[3].clone(),
-            ]);
+            plan.point(move || {
+                let mut g = Vec::new();
+                for &v in CompilerVersion::ALL.iter() {
+                    g.push(gf(gflops_per_cpu(
+                        bench,
+                        NpbClass::B,
+                        NodeKind::Bx2b,
+                        Paradigm::OpenMp,
+                        threads,
+                        v,
+                    )?));
+                }
+                Ok(PointOutput::row(vec![
+                    bench.name().into(),
+                    threads.to_string(),
+                    g[0].clone(),
+                    g[1].clone(),
+                    g[2].clone(),
+                    g[3].clone(),
+                ]))
+            });
         }
     }
-    r.note("paper: 8.0 worst in most cases; 9.0b best on FT; MG crossover at 32 threads; no overall winner");
-    Ok(r)
+    plan.note("paper: 8.0 worst in most cases; 9.0b best on FT; MG crossover at 32 threads; no overall winner");
+    plan
 }
 
-fn table4() -> Result<Report, SimError> {
-    let mut r = Report::new(
+fn table4_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Table 4",
         "INS3D and OVERFLOW-D under Intel Fortran 7.1 vs 8.1",
         &["application", "CPUs", "7.1", "8.1"],
     );
     for threads in [4usize, 8] {
-        let t71 = iteration_seconds(&Ins3dConfig {
-            compiler: CompilerVersion::V7_1,
-            ..Ins3dConfig::table2(NodeKind::Bx2b, threads)
+        plan.point_ok(move || {
+            let t71 = iteration_seconds(&Ins3dConfig {
+                compiler: CompilerVersion::V7_1,
+                ..Ins3dConfig::table2(NodeKind::Bx2b, threads)
+            });
+            let t81 = iteration_seconds(&Ins3dConfig {
+                compiler: CompilerVersion::V8_1,
+                ..Ins3dConfig::table2(NodeKind::Bx2b, threads)
+            });
+            PointOutput::row(vec![
+                "INS3D (s/step)".into(),
+                (36 * threads).to_string(),
+                secs(t71),
+                secs(t81),
+            ])
         });
-        let t81 = iteration_seconds(&Ins3dConfig {
-            compiler: CompilerVersion::V8_1,
-            ..Ins3dConfig::table2(NodeKind::Bx2b, threads)
-        });
-        r.push_row(vec![
-            "INS3D (s/step)".into(),
-            (36 * threads).to_string(),
-            secs(t71),
-            secs(t81),
-        ]);
     }
     for procs in [32usize, 128] {
-        let mk = |compiler| -> Result<f64, SimError> {
-            Ok(step_times(&OverflowConfig {
-                compiler,
-                ..OverflowConfig::table3(NodeKind::Altix3700, procs)
-            })?
-            .exec)
-        };
-        r.push_row(vec![
-            "OVERFLOW-D (s/step)".into(),
-            procs.to_string(),
-            secs(mk(CompilerVersion::V7_1)?),
-            secs(mk(CompilerVersion::V8_1)?),
-        ]);
+        plan.point(move || {
+            let mk = |compiler| -> Result<f64, SimError> {
+                Ok(step_times(&OverflowConfig {
+                    compiler,
+                    ..OverflowConfig::table3(NodeKind::Altix3700, procs)
+                })?
+                .exec)
+            };
+            Ok(PointOutput::row(vec![
+                "OVERFLOW-D (s/step)".into(),
+                procs.to_string(),
+                secs(mk(CompilerVersion::V7_1)?),
+                secs(mk(CompilerVersion::V8_1)?),
+            ]))
+        });
     }
-    r.note("paper: INS3D negligible difference; OVERFLOW-D 7.1 wins 20-40% under 64 CPUs, identical above");
-    Ok(r)
+    plan.note("paper: INS3D negligible difference; OVERFLOW-D 7.1 wins 20-40% under 64 CPUs, identical above");
+    plan
 }
 
-fn fig9() -> Result<Report, SimError> {
-    let mut r = Report::new(
+fn fig9_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Fig. 9",
         "BT-MZ class C under process/thread combinations (BX2b)",
         &["procs", "threads", "CPUs", "total Gflop/s"],
@@ -478,25 +548,27 @@ fn fig9() -> Result<Report, SimError> {
         if procs * threads > 512 {
             continue;
         }
-        let out = mz_run(&MzRunConfig::new(
-            MzBenchmark::BtMz,
-            MzClass::C,
-            procs,
-            threads,
-        ))?;
-        r.push_row(vec![
-            procs.to_string(),
-            threads.to_string(),
-            (procs * threads).to_string(),
-            gf(out.total_gflops),
-        ]);
+        plan.point(move || {
+            let out = mz_run(&MzRunConfig::new(
+                MzBenchmark::BtMz,
+                MzClass::C,
+                procs,
+                threads,
+            ))?;
+            Ok(PointOutput::row(vec![
+                procs.to_string(),
+                threads.to_string(),
+                (procs * threads).to_string(),
+                gf(out.total_gflops),
+            ]))
+        });
     }
-    r.note("paper: MPI scales almost linearly until load imbalance; OpenMP drops quickly beyond 2 threads");
-    Ok(r)
+    plan.note("paper: MPI scales almost linearly until load imbalance; OpenMP drops quickly beyond 2 threads");
+    plan
 }
 
-fn fig10() -> Report {
-    let mut r = Report::new(
+fn fig10_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Fig. 10",
         "Multinode b_eff: NUMAlink4 vs InfiniBand (BX2b nodes)",
         &[
@@ -515,27 +587,31 @@ fn fig10() -> Report {
         (2, InterNodeFabric::InfiniBand),
         (4, InterNodeFabric::InfiniBand),
     ] {
-        let sweep = beff::multi_node_sweep(nodes, inter, MptVersion::Beta, &counts);
-        for pattern in Pattern::ALL {
-            for &n in &counts {
-                let p = sweep.get(pattern, n).unwrap();
-                r.push_row(vec![
-                    pattern.name().into(),
-                    inter.name().into(),
-                    nodes.to_string(),
-                    n.to_string(),
-                    secs(p.latency),
-                    gbs(p.bandwidth),
-                ]);
+        plan.point_ok(move || {
+            let sweep = beff::multi_node_sweep(nodes, inter, MptVersion::Beta, &counts);
+            let mut out = PointOutput::default();
+            for pattern in Pattern::ALL {
+                for &n in &counts {
+                    let p = sweep.get(pattern, n).unwrap();
+                    out.rows.push(vec![
+                        pattern.name().into(),
+                        inter.name().into(),
+                        nodes.to_string(),
+                        n.to_string(),
+                        secs(p.latency),
+                        gbs(p.bandwidth),
+                    ]);
+                }
             }
-        }
+            out
+        });
     }
-    r.note("paper: NL4 clearly better; IB random ring shows severe scalability problems");
-    r
+    plan.note("paper: NL4 clearly better; IB random ring shows severe scalability problems");
+    plan
 }
 
-fn fig11() -> Result<Report, SimError> {
-    let mut r = Report::new(
+fn fig11_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Fig. 11",
         "NPB-MZ class E across nodes and fabrics",
         &["bench", "fabric", "MPT", "procs x threads", "total Gflop/s"],
@@ -547,54 +623,61 @@ fn fig11() -> Result<Report, SimError> {
             (InterNodeFabric::InfiniBand, MptVersion::Released),
             (InterNodeFabric::InfiniBand, MptVersion::Beta),
         ] {
-            for &(procs, threads) in &combos {
-                let mut cfg = MzRunConfig::new(bench, MzClass::E, procs, threads);
-                cfg.nodes = ((procs * threads) as u32).div_ceil(512).max(2);
-                cfg.inter = inter;
-                cfg.mpt = mpt;
-                let out = mz_run(&cfg)?;
-                r.push_row(vec![
-                    bench.name().into(),
-                    inter.name().into(),
-                    if mpt == MptVersion::Beta {
-                        "beta"
-                    } else {
-                        "released"
-                    }
-                    .into(),
-                    format!("{procs}x{threads}"),
-                    gf(out.total_gflops),
-                ]);
+            for (procs, threads) in combos {
+                plan.point(move || {
+                    let mut cfg = MzRunConfig::new(bench, MzClass::E, procs, threads);
+                    cfg.nodes = ((procs * threads) as u32).div_ceil(512).max(2);
+                    cfg.inter = inter;
+                    cfg.mpt = mpt;
+                    let out = mz_run(&cfg)?;
+                    Ok(PointOutput::row(vec![
+                        bench.name().into(),
+                        inter.name().into(),
+                        if mpt == MptVersion::Beta {
+                            "beta"
+                        } else {
+                            "released"
+                        }
+                        .into(),
+                        format!("{procs}x{threads}"),
+                        gf(out.total_gflops),
+                    ]))
+                });
             }
         }
     }
-    r.note("paper: BT-MZ near-linear, IB ~7% worse; SP-MZ 40% slower on IB with released MPT at 256, beta closes the gap");
-    Ok(r)
+    plan.note("paper: BT-MZ near-linear, IB ~7% worse; SP-MZ 40% slower on IB with released MPT at 256, beta closes the gap");
+    plan
 }
 
-fn table5() -> Result<Report, SimError> {
-    let mut r = Report::new(
+fn table5_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Table 5",
         "MD weak scaling, 64,000 atoms per CPU, 100 steps",
         &["CPUs", "atoms", "s/step", "comm s/step", "efficiency"],
     );
-    let base = weak_scaling_point(1)?;
     for &cpus in &TABLE5_CPUS {
-        let p = weak_scaling_point(cpus)?;
-        r.push_row(vec![
-            cpus.to_string(),
-            p.atoms.to_string(),
-            secs(p.seconds_per_step),
-            secs(p.comm_per_step),
-            format!("{:.1}%", 100.0 * p.efficiency_vs(&base)),
-        ]);
+        plan.point(move || {
+            // The 1-CPU efficiency baseline is a single-rank run —
+            // cheap enough to recompute per point, keeping points
+            // independent.
+            let base = weak_scaling_point(1)?;
+            let p = weak_scaling_point(cpus)?;
+            Ok(PointOutput::row(vec![
+                cpus.to_string(),
+                p.atoms.to_string(),
+                secs(p.seconds_per_step),
+                secs(p.comm_per_step),
+                format!("{:.1}%", 100.0 * p.efficiency_vs(&base)),
+            ]))
+        });
     }
-    r.note("paper: almost perfect scalability to 2040 CPUs; communication insignificant");
-    Ok(r)
+    plan.note("paper: almost perfect scalability to 2040 CPUs; communication insignificant");
+    plan
 }
 
-fn table6() -> Result<Report, SimError> {
-    let mut r = Report::new(
+fn table6_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Table 6",
         "OVERFLOW-D across BX2b nodes: NUMAlink4 vs InfiniBand",
         &[
@@ -605,40 +688,67 @@ fn table6() -> Result<Report, SimError> {
         if procs > 1679 {
             continue;
         }
-        let mk = |inter| {
-            step_times(&OverflowConfig {
-                kind: NodeKind::Bx2b,
-                procs,
-                threads: 1,
-                nodes,
-                inter,
-                compiler: CompilerVersion::V8_1,
-            })
-        };
-        let nl = mk(InterNodeFabric::NumaLink4)?;
-        let ib = mk(InterNodeFabric::InfiniBand)?;
-        r.push_row(vec![
-            nodes.to_string(),
-            procs.to_string(),
-            secs(nl.comm),
-            secs(nl.exec),
-            secs(ib.comm),
-            secs(ib.exec),
-        ]);
+        plan.point(move || {
+            let mk = |inter| {
+                step_times(&OverflowConfig {
+                    kind: NodeKind::Bx2b,
+                    procs,
+                    threads: 1,
+                    nodes,
+                    inter,
+                    compiler: CompilerVersion::V8_1,
+                })
+            };
+            let nl = mk(InterNodeFabric::NumaLink4)?;
+            let ib = mk(InterNodeFabric::InfiniBand)?;
+            Ok(PointOutput::row(vec![
+                nodes.to_string(),
+                procs.to_string(),
+                secs(nl.comm),
+                secs(nl.exec),
+                secs(ib.comm),
+                secs(ib.exec),
+            ]))
+        });
     }
-    r.note("paper: NL4 totals ~10% better; reported comm reverses (IB lower)");
-    Ok(r)
+    plan.note("paper: NL4 totals ~10% better; reported comm reverses (IB lower)");
+    plan
 }
 
 /// The fault-injection seed used by the `degraded` experiment: results
 /// are deterministic, so the report is reproducible run to run.
 pub const DEGRADED_SEED: u64 = 42;
 
-/// Graceful degradation: BT-MZ class C, 256x4 hybrid filling two BX2b
-/// nodes over InfiniBand (128 processes per node), re-run under a
-/// ladder of seeded fault plans.
-fn degraded() -> Result<Report, SimError> {
-    let mut r = Report::new(
+/// The `degraded` experiment's shared run shape: BT-MZ class C, 256x4
+/// hybrid filling two BX2b nodes over InfiniBand (128 processes per
+/// node), under the given fault plan.
+fn degraded_cfg(faults: FaultPlan) -> MzRunConfig {
+    let mut c = MzRunConfig::new(MzBenchmark::BtMz, MzClass::C, 256, 4);
+    c.nodes = 2;
+    c.inter = InterNodeFabric::InfiniBand;
+    c.faults = faults;
+    c
+}
+
+/// One scenario row of the degraded report. The slowdown column (index
+/// 2) is left blank — it needs the healthy baseline, so the sweep's
+/// collation fills it from the per-point `values[0]` (s/step).
+fn degraded_row(label: String, out: &MzOutcome) -> PointOutput {
+    PointOutput::row(vec![
+        label,
+        secs(out.seconds_per_step),
+        String::new(),
+        out.faults.dropped_messages.to_string(),
+        secs(out.faults.retransmit_delay),
+        out.faults.multiplexed_messages.to_string(),
+    ])
+    .with_value(out.seconds_per_step)
+}
+
+/// Graceful degradation: the shared run shape re-run under a ladder of
+/// seeded fault plans, one independent sweep point per scenario.
+fn degraded_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Degraded",
         "BT-MZ class C, 256x4 over 2 BX2b nodes (InfiniBand) under seeded faults",
         &[
@@ -650,72 +760,106 @@ fn degraded() -> Result<Report, SimError> {
             "muxed msgs",
         ],
     );
-    let cfg = |faults: FaultPlan| {
-        let mut c = MzRunConfig::new(MzBenchmark::BtMz, MzClass::C, 256, 4);
-        c.nodes = 2;
-        c.inter = InterNodeFabric::InfiniBand;
-        c.faults = faults;
-        c
-    };
     // Drops surface at the MPT level here, not the hardware level, so
     // the first retransmit waits a software timeout, not IB's 100 µs.
-    let drops = |prob: f64| {
+    fn drops(prob: f64) -> FaultPlan {
         let mut plan = FaultPlan::with_drops(DEGRADED_SEED, prob);
         plan.retransmit.timeout = 5.0e-3;
         plan
-    };
-    let healthy = mz_run(&cfg(FaultPlan::none()))?;
-    let mut row = |label: String, out: &MzOutcome| {
-        r.push_row(vec![
-            label,
-            secs(out.seconds_per_step),
-            format!("{:.3}x", out.seconds_per_step / healthy.seconds_per_step),
-            out.faults.dropped_messages.to_string(),
-            secs(out.faults.retransmit_delay),
-            out.faults.multiplexed_messages.to_string(),
-        ]);
-    };
-    row("healthy".into(), &healthy);
-    for drop_prob in [0.02, 0.05, 0.10, 0.20] {
-        let out = mz_run(&cfg(drops(drop_prob)))?;
-        row(format!("drop {:.0}%", 100.0 * drop_prob), &out);
     }
-    let degraded_link = mz_run(&cfg(FaultPlan::none().degrade_link(
-        NodeId(0),
-        NodeId(1),
-        4.0,
-        0.25,
-    )))?;
-    row("degraded link (4x lat, 1/4 bw)".into(), &degraded_link);
-    let failed_link = mz_run(&cfg(FaultPlan::none().fail_link(NodeId(0), NodeId(1))))?;
-    row("failed link (rerouted)".into(), &failed_link);
+    plan.point(|| {
+        let healthy = mz_run(&degraded_cfg(FaultPlan::none()))?;
+        Ok(degraded_row("healthy".into(), &healthy))
+    });
+    for drop_prob in [0.02, 0.05, 0.10, 0.20] {
+        plan.point(move || {
+            let out = mz_run(&degraded_cfg(drops(drop_prob)))?;
+            Ok(degraded_row(
+                format!("drop {:.0}%", 100.0 * drop_prob),
+                &out,
+            ))
+        });
+    }
+    plan.point(|| {
+        let out = mz_run(&degraded_cfg(FaultPlan::none().degrade_link(
+            NodeId(0),
+            NodeId(1),
+            4.0,
+            0.25,
+        )))?;
+        Ok(degraded_row("degraded link (4x lat, 1/4 bw)".into(), &out))
+    });
+    plan.point(|| {
+        let out = mz_run(&degraded_cfg(
+            FaultPlan::none().fail_link(NodeId(0), NodeId(1)),
+        ))?;
+        Ok(degraded_row("failed link (rerouted)".into(), &out))
+    });
     // Node 0 holds the heaviest zones (bin_pack seeds rank 0 with the
     // largest), so slowing it drags the whole barrier-synced run.
-    let slow_node = mz_run(&cfg(FaultPlan::none().slow_node(NodeId(0), 2.0)))?;
-    row("slow node 0 (2x compute)".into(), &slow_node);
+    plan.point(|| {
+        let out = mz_run(&degraded_cfg(FaultPlan::none().slow_node(NodeId(0), 2.0)))?;
+        Ok(degraded_row("slow node 0 (2x compute)".into(), &out))
+    });
     // A budget half of the p^2(n-1) = 128^2 connections each node
     // needs, with the Multiplex fallback: the run completes, paying a
     // queuing penalty per inter-node message instead of failing.
-    let tight = ConnectionLimit {
+    const TIGHT: ConnectionLimit = ConnectionLimit {
         cards_per_node: 1,
         connections_per_card: 8192,
         policy: ConnectionPolicy::Multiplex {
             queue_penalty: DEFAULT_MULTIPLEX_QUEUE_PENALTY,
         },
     };
-    let muxed = mz_run(&cfg(FaultPlan::none().with_connection_limit(tight)))?;
-    row("connections halved (multiplexed)".into(), &muxed);
-    if let Err(err) = mz_run(&cfg(FaultPlan::none().with_connection_limit(
-        ConnectionLimit {
-            policy: ConnectionPolicy::Fail,
-            ..tight
-        },
-    ))) {
-        r.note(format!("same budget under a fail-fast policy: {err}"));
-    }
-    r.note("connection budget follows the paper's section 2 formula: p^2(n-1) connections per node, 8 cards x 64K each on the real machine");
-    r.note("drop/retransmit ladder mirrors Fig. 11's released-MPT slowdown on InfiniBand; the degraded-link row is the same mechanism as the section 4.6.4 I/O-induced anomaly");
-    Ok(r)
+    plan.point(|| {
+        let out = mz_run(&degraded_cfg(
+            FaultPlan::none().with_connection_limit(TIGHT),
+        ))?;
+        Ok(degraded_row(
+            "connections halved (multiplexed)".into(),
+            &out,
+        ))
+    });
+    plan.point(|| {
+        let mut out = PointOutput::default();
+        if let Err(err) = mz_run(&degraded_cfg(FaultPlan::none().with_connection_limit(
+            ConnectionLimit {
+                policy: ConnectionPolicy::Fail,
+                ..TIGHT
+            },
+        ))) {
+            out.notes
+                .push(format!("same budget under a fail-fast policy: {err}"));
+        }
+        Ok(out)
+    });
+    // The slowdown column divides every scenario's s/step by the
+    // healthy baseline (point 0) — a cross-point reduction, so it lives
+    // in the collation, not the points.
+    plan.collate_with(|report, outputs| {
+        let healthy = outputs
+            .first()
+            .and_then(|o| o.values.first())
+            .copied()
+            .unwrap_or(f64::NAN);
+        for o in &outputs {
+            for row in &o.rows {
+                let mut row = row.clone();
+                if let Some(v) = o.values.first() {
+                    row[2] = format!("{:.3}x", v / healthy);
+                }
+                report.push_row(row);
+            }
+        }
+        for o in outputs {
+            for note in o.notes {
+                report.note(note);
+            }
+        }
+    });
+    plan.note("connection budget follows the paper's section 2 formula: p^2(n-1) connections per node, 8 cards x 64K each on the real machine");
+    plan.note("drop/retransmit ladder mirrors Fig. 11's released-MPT slowdown on InfiniBand; the degraded-link row is the same mechanism as the section 4.6.4 I/O-induced anomaly");
+    plan
 }
 
 /// Observability demo: a deliberately imbalanced halo-exchange workload
@@ -723,69 +867,83 @@ fn degraded() -> Result<Report, SimError> {
 /// captured by a [`RecordingTracer`] and rendered as the top-N hotspot
 /// table. `repro --exp trace --trace t.json --metrics m.json` exports
 /// the same run as a Perfetto-loadable timeline and counter dump.
-fn trace() -> Result<Report, SimError> {
-    let n = 16usize;
-    let cluster = ClusterConfig::uniform(NodeKind::Bx2b, 2);
-    let nodes = vec![NodeId(0), NodeId(1)];
-    // Cap each node at 8 ranks so the exchange partners (r <-> r+8)
-    // straddle the InfiniBand link.
-    let placement = Placement::new(&cluster, &nodes, n, 1, PlacementStrategy::DenseCapped(8));
-    let mut spec = WorkloadSpec::with_ranks(n);
-    for (r, prog) in spec.ranks.iter_mut().enumerate() {
-        let partner = (r + n / 2) % n;
-        for _iter in 0..3 {
-            // Linear compute skew: rank 15 does ~2x rank 0's work, so
-            // the early ranks pile up wait time at the collectives.
-            prog.push(SpecOp::Work(WorkPhase::new(
-                1.0e9 * (1.0 + r as f64 / (n - 1) as f64),
-                1.0e8,
-                1 << 20,
-                0.2,
-                KernelClass::BlockSolver,
-            )));
-            prog.push(SpecOp::Exchange {
-                with: partner,
-                bytes: 1 << 20,
-                tag: r.min(partner) as u64,
-            });
-            prog.push(SpecOp::AllReduce { bytes: 64 });
-        }
-    }
-    // Seeded drops (software-level timeout, as in the degraded
-    // experiment) so the trace shows retransmit backoff on the net
-    // track, deterministically.
-    let mut faults = FaultPlan::with_drops(DEGRADED_SEED, 0.05);
-    faults.retransmit.timeout = 5.0e-3;
-    let cfg = ExecConfig {
-        cluster,
-        nodes,
-        inter: InterNodeFabric::InfiniBand,
-        mpt: MptVersion::Beta,
-        placement,
-        compiler: CompilerVersion::V7_1,
-        pinning: Pinning::Pinned,
-        faults,
-    };
-    let mut tracer = RecordingTracer::new();
-    execute_traced(&spec, &cfg, &mut tracer)?;
-    let profile = tracer.profile();
-    let metrics = tracer.metrics.clone();
-    // This experiment drives its own tracer (bypassing `execute`'s
-    // sink check), so deposit the bundle for `--trace` exports itself.
-    if columbia_obs::sink::is_active() {
-        columbia_obs::sink::record(tracer.into_bundle("trace demo: 16 ranks over 2 nodes (IB)"));
-    }
-    let mut r = hotspot_report(
+fn trace_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
         "Trace",
         "hotspots of an imbalanced 16-rank exchange over 2 nodes (InfiniBand, 5% drops)",
-        &profile,
-        &metrics,
-        8,
+        &["rank", "compute", "comm", "wait", "total", "wait %"],
     );
-    r.note(
+    plan.point(|| {
+        let n = 16usize;
+        let cluster = ClusterConfig::uniform(NodeKind::Bx2b, 2);
+        let nodes = vec![NodeId(0), NodeId(1)];
+        // Cap each node at 8 ranks so the exchange partners (r <-> r+8)
+        // straddle the InfiniBand link.
+        let placement = Placement::new(&cluster, &nodes, n, 1, PlacementStrategy::DenseCapped(8));
+        let mut spec = WorkloadSpec::with_ranks(n);
+        for (r, prog) in spec.ranks.iter_mut().enumerate() {
+            let partner = (r + n / 2) % n;
+            for _iter in 0..3 {
+                // Linear compute skew: rank 15 does ~2x rank 0's work, so
+                // the early ranks pile up wait time at the collectives.
+                prog.push(SpecOp::Work(WorkPhase::new(
+                    1.0e9 * (1.0 + r as f64 / (n - 1) as f64),
+                    1.0e8,
+                    1 << 20,
+                    0.2,
+                    KernelClass::BlockSolver,
+                )));
+                prog.push(SpecOp::Exchange {
+                    with: partner,
+                    bytes: 1 << 20,
+                    tag: r.min(partner) as u64,
+                });
+                prog.push(SpecOp::AllReduce { bytes: 64 });
+            }
+        }
+        // Seeded drops (software-level timeout, as in the degraded
+        // experiment) so the trace shows retransmit backoff on the net
+        // track, deterministically.
+        let mut faults = FaultPlan::with_drops(DEGRADED_SEED, 0.05);
+        faults.retransmit.timeout = 5.0e-3;
+        let cfg = ExecConfig {
+            cluster,
+            nodes,
+            inter: InterNodeFabric::InfiniBand,
+            mpt: MptVersion::Beta,
+            placement,
+            compiler: CompilerVersion::V7_1,
+            pinning: Pinning::Pinned,
+            faults,
+        };
+        let mut tracer = RecordingTracer::new();
+        execute_traced(&spec, &cfg, &mut tracer)?;
+        let profile = tracer.profile();
+        let metrics = tracer.metrics.clone();
+        // This experiment drives its own tracer (bypassing `execute`'s
+        // sink check), so deposit the bundle for `--trace` exports itself.
+        if columbia_obs::sink::is_active() {
+            columbia_obs::sink::record(
+                tracer.into_bundle("trace demo: 16 ranks over 2 nodes (IB)"),
+            );
+        }
+        let r = hotspot_report(
+            "Trace",
+            "hotspots of an imbalanced 16-rank exchange over 2 nodes (InfiniBand, 5% drops)",
+            &profile,
+            &metrics,
+            8,
+        );
+        Ok(PointOutput {
+            rows: r.rows,
+            notes: r.notes,
+            values: Vec::new(),
+        })
+    });
+    plan.note(
         "re-run as `repro --exp trace --trace t.json --metrics m.json` for the Perfetto timeline",
     );
-    Ok(r)
+    plan
 }
 
 #[cfg(test)]
@@ -804,6 +962,24 @@ mod tests {
     fn bt_mz_aliases_fig9() {
         assert_eq!(Experiment::parse("bt_mz"), Some(Experiment::Fig9));
         assert_eq!(Experiment::parse("bt-mz"), Some(Experiment::Fig9));
+    }
+
+    #[test]
+    fn hpcc_aliases_the_dgemm_stream_table() {
+        assert_eq!(Experiment::parse("hpcc"), Some(Experiment::DgemmStream));
+    }
+
+    #[test]
+    fn every_plan_decomposes_into_points() {
+        for e in Experiment::ALL {
+            let p = plan(e);
+            assert!(!p.is_empty(), "{e:?} has no sweep points");
+        }
+        // The sweep-heavy experiments expose real parallelism.
+        // 4 benches x 2 paradigms x 3 node kinds.
+        assert!(plan(Experiment::Fig6).len() >= 24);
+        assert!(plan(Experiment::Degraded).len() >= 10);
+        assert_eq!(plan(Experiment::Table1).len(), 1);
     }
 
     #[test]

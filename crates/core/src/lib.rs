@@ -37,13 +37,51 @@ pub use columbia_npbmz as npbmz;
 pub use columbia_obs as obs;
 pub use columbia_overflowd as overflowd;
 pub use columbia_overset as overset;
+pub use columbia_par as par;
 pub use columbia_runtime as runtime;
 pub use columbia_simnet as simnet;
 
 pub mod experiments;
 pub mod obs_report;
 pub mod report;
+pub mod sweep;
 
-pub use experiments::{run, Experiment};
+pub use experiments::{run, run_with_jobs, Experiment};
 pub use obs_report::hotspot_report;
 pub use report::{Report, ReportError};
+pub use sweep::{PointOutput, SweepPlan};
+
+/// Assert a computed `f64` matches a golden value within a relative
+/// tolerance: `assert_close!(actual, expected, rel)`, optionally with a
+/// context label as the fourth argument.
+///
+/// This is the comparison the golden-value regression suite
+/// (`tests/golden_values.rs`) is built on. On failure the message spells
+/// out the update path: golden values are changed *deliberately* —
+/// re-derive the constant, update it in the test alongside a note in
+/// EXPERIMENTS.md explaining what moved, never loosen the tolerance to
+/// make a drift pass.
+#[macro_export]
+macro_rules! assert_close {
+    ($actual:expr, $expected:expr, $rel:expr $(,)?) => {
+        $crate::assert_close!($actual, $expected, $rel, stringify!($actual))
+    };
+    ($actual:expr, $expected:expr, $rel:expr, $what:expr $(,)?) => {{
+        let actual: f64 = $actual;
+        let expected: f64 = $expected;
+        let rel: f64 = $rel;
+        let diff = (actual - expected).abs();
+        let tol = rel * expected.abs();
+        assert!(
+            diff <= tol,
+            "{}: got {actual:.6e}, golden value is {expected:.6e} \
+             (off by {:.2}%, tolerance {:.2}%)\n\
+             If this change is intentional, update the golden value and \
+             record the model change in EXPERIMENTS.md; do not widen the \
+             tolerance.",
+            $what,
+            100.0 * diff / expected.abs(),
+            100.0 * rel,
+        );
+    }};
+}

@@ -1,0 +1,302 @@
+//! Sweep decomposition and the parallel sweep executor.
+//!
+//! Every experiment is a *sweep*: a list of independent points (one
+//! discrete-event simulation each — a CPU count, a fabric, a fault
+//! scenario) whose results are collated into a [`Report`] in a fixed,
+//! paper-given order. A [`SweepPlan`] makes that structure explicit:
+//! the report skeleton, the ordered list of [`SweepPoint`] jobs, and a
+//! collation step. [`SweepPlan::run`] executes the points on a
+//! [`ThreadPool`] — points may finish in any order, but every
+//! [`PointOutput`] is keyed by its sweep index and reduced in canonical
+//! order, so the resulting report is **bit-identical** to a serial run
+//! regardless of scheduling (property-tested, and enforced by the CI
+//! determinism gate diffing `repro --jobs 2` against `--jobs 1`).
+//!
+//! Error semantics are also canonical: every point runs to completion
+//! and the error of the *lowest-indexed* failing point is returned, so
+//! a parallel run cannot surface a different failure than the serial
+//! one just because a later point crashed first.
+
+use columbia_obs::sink;
+use columbia_par::ThreadPool;
+use columbia_simnet::SimError;
+
+use crate::report::Report;
+
+/// What one sweep point contributes to the report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PointOutput {
+    /// Rows this point appends, in order.
+    pub rows: Vec<Vec<String>>,
+    /// Notes this point appends (after all rows, in point order).
+    pub notes: Vec<String>,
+    /// Experiment-specific scalars for custom collation (e.g. the
+    /// degraded sweep's per-scenario seconds-per-step, from which the
+    /// collator derives the slowdown column).
+    pub values: Vec<f64>,
+}
+
+impl PointOutput {
+    /// A single-row output.
+    pub fn row(cells: Vec<String>) -> Self {
+        PointOutput {
+            rows: vec![cells],
+            ..PointOutput::default()
+        }
+    }
+
+    /// A multi-row output.
+    pub fn rows(rows: Vec<Vec<String>>) -> Self {
+        PointOutput {
+            rows,
+            ..PointOutput::default()
+        }
+    }
+
+    /// Attach a collation scalar.
+    pub fn with_value(mut self, v: f64) -> Self {
+        self.values.push(v);
+        self
+    }
+
+    /// Attach a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// One independent sweep job: runs an isolated simulation (or a small
+/// family of them) and returns its contribution to the report.
+pub type SweepPoint = Box<dyn FnOnce() -> Result<PointOutput, SimError> + Send>;
+
+/// Collation hook: builds the report body from the index-ordered point
+/// outputs. The default appends every point's rows, then every point's
+/// notes, in sweep order.
+pub type Collate = Box<dyn FnOnce(&mut Report, Vec<PointOutput>)>;
+
+/// An experiment decomposed into independent, index-keyed jobs plus a
+/// deterministic reduction.
+pub struct SweepPlan {
+    /// Report id ("Table 2", "Fig. 5", …).
+    pub id: String,
+    /// Report title.
+    pub title: String,
+    /// Report column headers.
+    pub headers: Vec<String>,
+    points: Vec<SweepPoint>,
+    /// Plan-level notes, appended after all point notes.
+    notes: Vec<String>,
+    collate: Option<Collate>,
+}
+
+impl SweepPlan {
+    /// Start a plan with the report skeleton.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        SweepPlan {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            points: Vec::new(),
+            notes: Vec::new(),
+            collate: None,
+        }
+    }
+
+    /// Append one sweep point. Index order is the collation order.
+    pub fn point(
+        &mut self,
+        f: impl FnOnce() -> Result<PointOutput, SimError> + Send + 'static,
+    ) -> &mut Self {
+        self.points.push(Box::new(f));
+        self
+    }
+
+    /// Append an infallible sweep point.
+    pub fn point_ok(&mut self, f: impl FnOnce() -> PointOutput + Send + 'static) -> &mut Self {
+        self.point(move || Ok(f()))
+    }
+
+    /// Append a plan-level note (rendered after every point's notes).
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Replace the default collation with a custom reduction over the
+    /// index-ordered point outputs.
+    pub fn collate_with(&mut self, f: impl FnOnce(&mut Report, Vec<PointOutput>) + 'static) {
+        self.collate = Some(Box::new(f));
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Execute every point on `pool` and collate in canonical order.
+    ///
+    /// Each point runs under a [`sink::with_point`] attribution, so
+    /// trace bundles deposited by worker threads drain in sweep order,
+    /// not completion order. With a 1-thread pool this is exactly the
+    /// serial path: points run in index order on the calling thread.
+    pub fn run(self, pool: &ThreadPool) -> Result<Report, SimError> {
+        let epoch = sink::next_epoch();
+        let jobs: Vec<_> = self
+            .points
+            .into_iter()
+            .enumerate()
+            .map(|(idx, f)| move || sink::with_point(epoch, idx, f))
+            .collect();
+        let results = pool.run(jobs);
+        // Canonical error: the lowest-indexed failure (results are
+        // index-ordered, so the first error found is it).
+        let mut outputs = Vec::with_capacity(results.len());
+        for r in results {
+            outputs.push(r?);
+        }
+        let mut report = Report::new(
+            &self.id,
+            &self.title,
+            &self.headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        match self.collate {
+            Some(collate) => collate(&mut report, outputs),
+            None => {
+                for o in &outputs {
+                    for row in &o.rows {
+                        report.push_row(row.clone());
+                    }
+                }
+                for o in outputs {
+                    for note in o.notes {
+                        report.note(note);
+                    }
+                }
+            }
+        }
+        for note in self.notes {
+            report.note(note);
+        }
+        Ok(report)
+    }
+
+    /// [`SweepPlan::run`] on a fresh pool of `jobs` threads.
+    pub fn run_with_jobs(self, jobs: usize) -> Result<Report, SimError> {
+        self.run(&ThreadPool::new(jobs))
+    }
+}
+
+impl std::fmt::Debug for SweepPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepPlan")
+            .field("id", &self.id)
+            .field("points", &self.points.len())
+            .field("custom_collate", &self.collate.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_plan() -> SweepPlan {
+        let mut plan = SweepPlan::new("T", "demo", &["i", "sq"]);
+        for i in 0..10u64 {
+            plan.point_ok(move || {
+                PointOutput::row(vec![i.to_string(), (i * i).to_string()]).with_value(i as f64)
+            });
+        }
+        plan.note("plan note");
+        plan
+    }
+
+    #[test]
+    fn serial_and_parallel_reports_are_identical() {
+        let serial = demo_plan().run_with_jobs(1).unwrap();
+        for jobs in [2, 3, 7, 16] {
+            let par = demo_plan().run_with_jobs(jobs).unwrap();
+            assert_eq!(serial.to_text(), par.to_text(), "jobs={jobs}");
+            assert_eq!(serial.to_json(), par.to_json(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn rows_preserve_sweep_order_when_points_finish_out_of_order() {
+        // Point i sleeps inversely to its index, so under any real
+        // scheduler later points complete first; collation must not
+        // leak insertion order into the report.
+        let mut plan = SweepPlan::new("T", "ooo", &["i"]);
+        for i in 0..8u64 {
+            plan.point_ok(move || {
+                std::thread::sleep(std::time::Duration::from_millis(2 * (8 - i)));
+                PointOutput::row(vec![i.to_string()])
+            });
+        }
+        let r = plan.run_with_jobs(4).unwrap();
+        let got: Vec<&str> = r.rows.iter().map(|row| row[0].as_str()).collect();
+        assert_eq!(got, ["0", "1", "2", "3", "4", "5", "6", "7"]);
+    }
+
+    #[test]
+    fn lowest_indexed_error_wins() {
+        let mk = |jobs: usize| {
+            let mut plan = SweepPlan::new("T", "err", &["x"]);
+            // Point 2 fails fast, point 1 fails slow — the canonical
+            // error is point 1's, under any scheduling.
+            plan.point_ok(|| PointOutput::row(vec!["ok".into()]));
+            plan.point(|| {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                Err(SimError::WatchdogTimeout {
+                    events: 1,
+                    budget: 1,
+                })
+            });
+            plan.point(|| {
+                Err(SimError::WatchdogTimeout {
+                    events: 2,
+                    budget: 2,
+                })
+            });
+            plan.run_with_jobs(jobs).unwrap_err()
+        };
+        for jobs in [1, 4] {
+            let SimError::WatchdogTimeout { events, .. } = mk(jobs) else {
+                panic!("expected watchdog");
+            };
+            assert_eq!(events, 1, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn custom_collation_sees_outputs_in_index_order() {
+        let mut plan = demo_plan();
+        plan.collate_with(|report, outputs| {
+            let base = outputs[0].values[0].max(1.0);
+            for o in &outputs {
+                let mut row = o.rows[0].clone();
+                row[1] = format!("{:.1}", o.values[0] / base);
+                report.push_row(row);
+            }
+        });
+        let r = plan.run_with_jobs(3).unwrap();
+        assert_eq!(r.rows[5], vec!["5", "5.0"]);
+        assert_eq!(r.notes, vec!["plan note"]);
+    }
+
+    #[test]
+    fn point_notes_follow_rows_then_plan_notes() {
+        let mut plan = SweepPlan::new("T", "notes", &["x"]);
+        plan.point_ok(|| PointOutput::row(vec!["a".into()]).with_note("from point 0"));
+        plan.point_ok(|| PointOutput::row(vec!["b".into()]).with_note("from point 1"));
+        plan.note("plan-level");
+        let r = plan.run_with_jobs(2).unwrap();
+        assert_eq!(r.notes, vec!["from point 0", "from point 1", "plan-level"]);
+    }
+}

@@ -1,0 +1,244 @@
+//! `columbia-par` — a std-only work-stealing thread pool for
+//! embarrassingly-parallel sweep execution.
+//!
+//! Every figure in the paper is a sweep: independent simulation points
+//! (CPU counts, fabrics, fault ladders) whose results are reduced in a
+//! canonical order. This crate fans those points out across OS threads
+//! while keeping the reduction deterministic: jobs are identified by
+//! their index, results land in index-order slots, and the caller reads
+//! them back as if the whole sweep had run serially. A parallel run is
+//! therefore bit-identical to a serial run regardless of how the
+//! scheduler interleaves the work — the property the repo's
+//! determinism gate (`repro --jobs N` vs `--jobs 1`) enforces.
+//!
+//! Scheduling is work-stealing over per-worker deques: each worker owns
+//! a LIFO tail of its own deque (cache-friendly for the jobs it was
+//! dealt) and steals from the FIFO head of its siblings when it runs
+//! dry, so a straggler point cannot strand the rest of the sweep behind
+//! it. There are no dependencies beyond `std` — the deques are
+//! mutex-guarded, which is plenty for sweep points that each run a
+//! whole discrete-event simulation (milliseconds to seconds per job).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of worker threads the platform comfortably supports; the
+/// default for `repro --jobs`.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A fixed-size pool description. Threads are spawned per [`ThreadPool::run`] call
+/// (scoped, so jobs may borrow from the caller), not kept hot: sweep
+/// points are coarse enough that spawn cost is noise, and holding no
+/// global state keeps the pool trivially correct under nested use.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the machine.
+    pub fn default_size() -> Self {
+        ThreadPool::new(available_parallelism())
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every job and return the results **in job index order**,
+    /// regardless of which worker finished which job when.
+    ///
+    /// With one worker (or one job) no threads are spawned and the jobs
+    /// run in index order on the caller's thread — the serial path that
+    /// parallel runs must be bit-identical to.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        if self.threads == 1 || n <= 1 {
+            return jobs.into_iter().map(|f| f()).collect();
+        }
+        let workers = self.threads.min(n);
+        // Job slots: taken exactly once, by whichever worker claims the
+        // index. Result slots are written exactly once at that index.
+        let job_slots: Vec<Mutex<Option<F>>> =
+            jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+        let result_slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // Deal indices round-robin so every worker starts with a local
+        // run of jobs; stealing rebalances stragglers.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+            .collect();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let job_slots = &job_slots;
+                let result_slots = &result_slots;
+                scope.spawn(move || {
+                    loop {
+                        // Own deque first (LIFO tail), then steal from
+                        // siblings (FIFO head) — classic work stealing.
+                        let mut job = queues[w]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .pop_back();
+                        if job.is_none() {
+                            for v in 1..workers {
+                                let victim = (w + v) % workers;
+                                job = queues[victim]
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .pop_front();
+                                if job.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                        // Jobs only ever move from the deques into
+                        // execution, so once every deque is empty the
+                        // remaining work is claimed — this worker is done.
+                        let Some(idx) = job else { return };
+                        let f = job_slots[idx]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .take()
+                            .expect("a job index is dealt to exactly one deque");
+                        let out = f();
+                        *result_slots[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                    }
+                });
+            }
+        });
+        result_slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every job slot is claimed and completed exactly once")
+            })
+            .collect()
+    }
+
+    /// Map `f` over `items`, collating results in item order.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        let f = &f;
+        self.run(
+            items
+                .into_iter()
+                .map(|item| move || f(item))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let pool = ThreadPool::new(4);
+        // Early jobs sleep longest, so completion order inverts
+        // submission order — collation must not care.
+        let jobs: Vec<_> = (0..16u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(Duration::from_millis(16 - i));
+                    i * 10
+                }
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, (0..16u64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_serially_in_order() {
+        let pool = ThreadPool::new(1);
+        let order = Mutex::new(Vec::new());
+        let jobs: Vec<_> = (0..8usize)
+            .map(|i| {
+                let order = &order;
+                move || {
+                    order.lock().unwrap().push(i);
+                    i
+                }
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let count = AtomicU64::new(0);
+        let pool = ThreadPool::new(7);
+        let jobs: Vec<_> = (0..100)
+            .map(|_| {
+                let count = &count;
+                move || count.fetch_add(1, Ordering::Relaxed)
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out.len(), 100);
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let pool = ThreadPool::new(32);
+        assert_eq!(pool.map(vec![1, 2, 3], |x| x * x), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_threads_degrade_gracefully() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let out: Vec<i32> = pool.run(Vec::<fn() -> i32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_borrows_captured_state() {
+        let base = 100u64;
+        let pool = ThreadPool::new(3);
+        let out = pool.map((0..10u64).collect(), |i| base + i);
+        assert_eq!(out[9], 109);
+    }
+
+    #[test]
+    fn parallelism_is_real() {
+        // With 4 workers, 4 sleeping jobs overlap: total wall clock is
+        // well under the serial sum. (Generous bound for slow CI.)
+        let pool = ThreadPool::new(4);
+        let start = std::time::Instant::now();
+        pool.run(
+            (0..4)
+                .map(|_| || std::thread::sleep(Duration::from_millis(100)))
+                .collect::<Vec<_>>(),
+        );
+        assert!(start.elapsed() < Duration::from_millis(350));
+    }
+}

@@ -42,6 +42,7 @@ use crate::collectives;
 use crate::error::{DeadlockReport, PendingOp, SimError};
 use crate::fabric::Fabric;
 use crate::fault::{ConnectionPolicy, FaultPlan, FaultStats, FaultyFabric};
+use crate::mailbox::{IndexedMailbox, MailboxOps};
 
 /// Per-CPU cost of initiating a send (library call + injection), well
 /// under the wire latency; folded out of `Fabric::latency` so overlap
@@ -120,13 +121,6 @@ impl SimOutcome {
     pub fn max_comm(&self) -> f64 {
         self.ranks.iter().map(|r| r.comm).fold(0.0, f64::max)
     }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct MsgKey {
-    from: usize,
-    to: usize,
-    tag: u64,
 }
 
 struct RankState {
@@ -235,6 +229,36 @@ pub fn simulate_traced<T: Tracer>(
     plan: &FaultPlan,
     tracer: &mut T,
 ) -> Result<SimOutcome, SimError> {
+    simulate_generic::<T, IndexedMailbox>(programs, cpus, base_fabric, plan, tracer)
+}
+
+/// [`simulate_with_faults`] on the original `HashMap`-keyed mailbox
+/// ([`crate::mailbox::ReferenceMailbox`]). Exists so the engine
+/// benchmark can measure the indexed mailbox against its predecessor
+/// end-to-end; outcomes are bit-identical (regression-tested).
+#[doc(hidden)]
+pub fn simulate_reference_mailbox(
+    programs: &[Vec<Op>],
+    cpus: &[CpuId],
+    base_fabric: &dyn Fabric,
+    plan: &FaultPlan,
+) -> Result<SimOutcome, SimError> {
+    simulate_generic::<NullTracer, crate::mailbox::ReferenceMailbox>(
+        programs,
+        cpus,
+        base_fabric,
+        plan,
+        &mut NullTracer,
+    )
+}
+
+fn simulate_generic<T: Tracer, M: MailboxOps>(
+    programs: &[Vec<Op>],
+    cpus: &[CpuId],
+    base_fabric: &dyn Fabric,
+    plan: &FaultPlan,
+    tracer: &mut T,
+) -> Result<SimOutcome, SimError> {
     if programs.len() != cpus.len() {
         return Err(SimError::PlacementMismatch {
             programs: programs.len(),
@@ -267,24 +291,25 @@ pub fn simulate_traced<T: Tracer>(
             coll_seq: 0,
         })
         .collect();
-    // In-flight messages: arrival times keyed by (from, to, tag); FIFO
-    // per key preserves MPI ordering semantics.
-    let mut mailbox: HashMap<MsgKey, VecDeque<f64>> = HashMap::new();
-    // Per-key send sequence numbers: the message identity fault
-    // sampling keys off (schedule-independent).
-    let mut send_seq: HashMap<MsgKey, u64> = HashMap::new();
+    // In-flight messages: arrival times per (from, to, tag) channel,
+    // FIFO per channel (MPI ordering). The channel also carries the
+    // send sequence number the fault sampling keys off
+    // (schedule-independent).
+    let mut mailbox = M::with_ranks(n);
     // Collective rendezvous: seq -> ranks arrived.
     let mut coll_arrivals: HashMap<usize, Vec<usize>> = HashMap::new();
 
-    let mut runnable: VecDeque<usize> = (0..n).collect();
+    // At most n ranks are queued at once (in_queue guards duplicates),
+    // so one up-front allocation serves the whole run.
+    let mut runnable: VecDeque<usize> = VecDeque::with_capacity(n + 1);
+    runnable.extend(0..n);
     let mut in_queue = vec![true; n];
 
     // Posts one message and returns its arrival time at the receiver,
     // applying drop/retransmit and multiplex delays; also charges the
     // sender. Shared by Send and the send half of Exchange.
     let post_send = |states: &mut Vec<RankState>,
-                     mailbox: &mut HashMap<MsgKey, VecDeque<f64>>,
-                     send_seq: &mut HashMap<MsgKey, u64>,
+                     mailbox: &mut M,
                      stats: &mut FaultStats,
                      tracer: &mut T,
                      r: usize,
@@ -292,10 +317,8 @@ pub fn simulate_traced<T: Tracer>(
                      bytes: u64,
                      tag: u64| {
         let cost = fabric.pt2pt_time(cpus[r], cpus[to], bytes);
-        let key = MsgKey { from: r, to, tag };
-        let seq = send_seq.entry(key).or_insert(0);
-        let drops = plan.drops_for_message(r, to, tag, *seq);
-        *seq += 1;
+        let seq = mailbox.next_seq(r, to, tag);
+        let drops = plan.drops_for_message(r, to, tag, seq);
         let posted = states[r].clock;
         let mut arrival = posted + cost;
         let mut retransmit_delay = 0.0;
@@ -313,7 +336,7 @@ pub fn simulate_traced<T: Tracer>(
             stats.multiplexed_messages += 1;
             stats.multiplex_delay += mux_delay;
         }
-        mailbox.entry(key).or_default().push_back(arrival);
+        mailbox.push(r, to, tag, arrival);
         // The sender re-injects once per retransmission.
         let overhead = SEND_CPU_OVERHEAD * (drops + 1) as f64;
         states[r].clock += overhead;
@@ -375,7 +398,6 @@ pub fn simulate_traced<T: Tracer>(
                     post_send(
                         &mut states,
                         &mut mailbox,
-                        &mut send_seq,
                         &mut stats,
                         tracer,
                         r,
@@ -391,12 +413,7 @@ pub fn simulate_traced<T: Tracer>(
                     }
                 }
                 Op::Recv { from, tag } => {
-                    let key = MsgKey {
-                        from: *from,
-                        to: r,
-                        tag: *tag,
-                    };
-                    match mailbox.get_mut(&key).and_then(|q| q.pop_front()) {
+                    match mailbox.pop(*from, r, *tag) {
                         Some(arrival) => {
                             let done = states[r].clock.max(arrival);
                             if tracer.enabled() && done > states[r].clock {
@@ -415,39 +432,17 @@ pub fn simulate_traced<T: Tracer>(
                     // records that our send half already went out, so a
                     // blocked exchange does not double-send on wake-up.
                     let (b, t, w) = (*bytes, *tag, *with);
-                    let marker = MsgKey {
-                        from: r,
-                        to: r,
-                        tag: half_exchange_tag(w, t),
-                    };
-                    let already_sent = mailbox
-                        .get_mut(&marker)
-                        .map(|q| q.pop_front().is_some())
-                        .unwrap_or(false);
+                    let marker_tag = half_exchange_tag(w, t);
+                    let already_sent = mailbox.pop(r, r, marker_tag).is_some();
                     if !already_sent {
-                        post_send(
-                            &mut states,
-                            &mut mailbox,
-                            &mut send_seq,
-                            &mut stats,
-                            tracer,
-                            r,
-                            w,
-                            b,
-                            t,
-                        );
+                        post_send(&mut states, &mut mailbox, &mut stats, tracer, r, w, b, t);
                         if !in_queue[w] {
                             runnable.push_back(w);
                             in_queue[w] = true;
                         }
                     }
                     // Wait for the partner's half.
-                    let key = MsgKey {
-                        from: w,
-                        to: r,
-                        tag: t,
-                    };
-                    match mailbox.get_mut(&key).and_then(|q| q.pop_front()) {
+                    match mailbox.pop(w, r, t) {
                         Some(arrival) => {
                             let done = states[r].clock.max(arrival);
                             if tracer.enabled() && done > states[r].clock {
@@ -458,7 +453,7 @@ pub fn simulate_traced<T: Tracer>(
                             states[r].pc += 1;
                         }
                         None => {
-                            mailbox.entry(marker).or_default().push_back(0.0);
+                            mailbox.push(r, r, marker_tag, 0.0);
                             break;
                         }
                     }
@@ -816,6 +811,21 @@ mod tests {
         assert!(heavy.faults.dropped_messages > 0);
         assert!(heavy.faults.retransmit_delay > 0.0);
         assert!(heavy.makespan > clean.makespan);
+    }
+
+    #[test]
+    fn indexed_mailbox_matches_reference_mailbox() {
+        // The optimized per-sender channel index must be bit-identical
+        // to the original HashMap mailbox, including under faults
+        // (sequence numbers feed the drop sampling) and exchanges
+        // (marker messages-to-self ride the same storage).
+        let progs = mixed_progs(8);
+        for plan in [FaultPlan::none(), FaultPlan::with_drops(7, 0.3)] {
+            let indexed = simulate_with_faults(&progs, &place(8), &fabric(), &plan).unwrap();
+            let reference =
+                simulate_reference_mailbox(&progs, &place(8), &fabric(), &plan).unwrap();
+            assert_eq!(indexed, reference);
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod engine;
 pub mod error;
 pub mod fabric;
 pub mod fault;
+pub mod mailbox;
 pub mod patterns;
 
 pub use columbia_obs as obs;

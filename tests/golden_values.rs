@@ -1,0 +1,217 @@
+//! Golden-value regression suite.
+//!
+//! Two layers of pinning, both deliberate-update-only (see
+//! `tests/README.md` for the workflow):
+//!
+//! 1. **Numeric goldens** — calibrated model outputs (§4.1 DGEMM and
+//!    STREAM rates, the b_eff ping-pong latency/bandwidth tiers, the
+//!    Table 1 peak-performance figures) asserted with
+//!    [`columbia::assert_close!`] against hand-pinned constants and a
+//!    tight relative tolerance. These catch accidental drift in
+//!    `machine::calib` or the fabric cost models.
+//! 2. **Report-text goldens** — one test per experiment comparing
+//!    `run(exp)` byte-for-byte against a fixture in `tests/golden/`.
+//!    Every simulation is seeded and collation is deterministic, so an
+//!    exact match is the correct bar.
+//!
+//! # Updating a golden fixture
+//!
+//! A mismatch means the model's output changed. If that is *intended*
+//! (a calibration fix, a new report column):
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_values
+//! git diff tests/golden/        # review every changed line
+//! ```
+//!
+//! then describe the change in EXPERIMENTS.md. `UPDATE_GOLDEN` rewrites
+//! the fixtures and then *fails* the run (so a stale env var can never
+//! silently bless a regression in CI); re-run without it to confirm.
+
+use std::path::PathBuf;
+
+use columbia::assert_close;
+use columbia::experiments::{run, Experiment};
+use columbia::hpcc::beff::{self, Pattern};
+use columbia::hpcc::{dgemm, stream};
+use columbia::machine::cluster::InterNodeFabric;
+use columbia::machine::node::{NodeKind, NodeModel};
+use columbia::simnet::fabric::MptVersion;
+
+// ---- numeric goldens ----
+
+#[test]
+fn golden_table1_peak_performance() {
+    // Table 1's "Th. peak perf." row: 512 CPUs at 2 madds/cycle.
+    assert_close!(
+        NodeModel::new(NodeKind::Altix3700).peak_tflops(),
+        3.07,
+        0.005,
+        "3700 peak Tflop/s"
+    );
+    assert_close!(
+        NodeModel::new(NodeKind::Bx2a).peak_tflops(),
+        3.07,
+        0.005,
+        "BX2a peak Tflop/s"
+    );
+    assert_close!(
+        NodeModel::new(NodeKind::Bx2b).peak_tflops(),
+        3.28,
+        0.005,
+        "BX2b peak Tflop/s"
+    );
+}
+
+#[test]
+fn golden_dgemm_gflops() {
+    // §4.1.1: BX2b's faster clock buys ~6% over the 1.5 GHz parts.
+    assert_close!(
+        dgemm::simulate(NodeKind::Altix3700, 1).gflops_per_cpu,
+        5.388,
+        0.005,
+        "DGEMM 3700"
+    );
+    assert_close!(
+        dgemm::simulate(NodeKind::Bx2a, 1).gflops_per_cpu,
+        5.388,
+        0.005,
+        "DGEMM BX2a"
+    );
+    assert_close!(
+        dgemm::simulate(NodeKind::Bx2b, 1).gflops_per_cpu,
+        5.747,
+        0.005,
+        "DGEMM BX2b"
+    );
+}
+
+#[test]
+fn golden_stream_triad_gbs() {
+    // §4.1.1 dense (every CPU busy, bus shared) and §4.2 stride-2
+    // (every second CPU idle, bus effectively private).
+    assert_close!(
+        stream::simulate(NodeKind::Altix3700, 512, 1).triad(),
+        1.96e9,
+        0.01,
+        "STREAM triad 3700 dense"
+    );
+    assert_close!(
+        stream::simulate(NodeKind::Bx2a, 512, 1).triad(),
+        1.94e9,
+        0.01,
+        "STREAM triad BX2a dense"
+    );
+    assert_close!(
+        stream::simulate(NodeKind::Bx2b, 512, 1).triad(),
+        1.94e9,
+        0.01,
+        "STREAM triad BX2b dense"
+    );
+    assert_close!(
+        stream::simulate(NodeKind::Altix3700, 128, 2).triad(),
+        3.72e9,
+        0.01,
+        "STREAM triad 3700 stride 2"
+    );
+}
+
+#[test]
+fn golden_pingpong_latency_bandwidth_tiers() {
+    // The four fabric tiers the whole communication model hangs off,
+    // measured as b_eff average ping-pong at small CPU counts.
+    let nl3 = beff::in_node_sweep(NodeKind::Altix3700, &[4]);
+    let p = nl3.get(Pattern::PingPong, 4).unwrap();
+    assert_close!(p.latency, 1.15e-6, 0.01, "NUMAlink3 in-node latency");
+    assert_close!(p.bandwidth, 1.76e9, 0.01, "NUMAlink3 in-node bandwidth");
+
+    let nl4 = beff::in_node_sweep(NodeKind::Bx2b, &[4]);
+    let p = nl4.get(Pattern::PingPong, 4).unwrap();
+    assert_close!(p.latency, 1.15e-6, 0.01, "NUMAlink4 in-node latency");
+    assert_close!(p.bandwidth, 3.01e9, 0.01, "NUMAlink4 in-node bandwidth");
+
+    let nl4x = beff::multi_node_sweep(2, InterNodeFabric::NumaLink4, MptVersion::Beta, &[256]);
+    let p = nl4x.get(Pattern::PingPong, 256).unwrap();
+    assert_close!(p.latency, 2.40e-6, 0.01, "NUMAlink4 inter-node latency");
+    assert_close!(p.bandwidth, 3.01e9, 0.01, "NUMAlink4 inter-node bandwidth");
+
+    let ib = beff::multi_node_sweep(2, InterNodeFabric::InfiniBand, MptVersion::Beta, &[256]);
+    let p = ib.get(Pattern::PingPong, 256).unwrap();
+    assert_close!(p.latency, 6.70e-6, 0.01, "InfiniBand inter-node latency");
+    assert_close!(p.bandwidth, 0.80e9, 0.01, "InfiniBand inter-node bandwidth");
+}
+
+// ---- report-text goldens ----
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../tests/golden/{name}.txt"))
+}
+
+/// Compare `run(exp)` against its fixture; regenerate under
+/// `UPDATE_GOLDEN=1` (which still fails the test, forcing a clean
+/// confirmation run — see the module docs).
+fn check_golden(exp: Experiment) {
+    let actual = format!("{}\n", run(exp).to_text());
+    let path = golden_path(exp.name());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        panic!(
+            "UPDATE_GOLDEN: rewrote {}; review `git diff tests/golden/`, \
+             note the change in EXPERIMENTS.md, then re-run without \
+             UPDATE_GOLDEN to confirm",
+            path.display()
+        );
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\n\
+             Generate it with `UPDATE_GOLDEN=1 cargo test --test golden_values`",
+            path.display()
+        )
+    });
+    if expected != actual {
+        // A unified line diff would hide whitespace churn; show both
+        // sides and let the developer diff the written file instead.
+        panic!(
+            "{} no longer matches tests/golden/{}.txt.\n\
+             If the model change is intentional, run \
+             `UPDATE_GOLDEN=1 cargo test --test golden_values`, review \
+             `git diff tests/golden/`, and record why in EXPERIMENTS.md.\n\
+             --- golden ---\n{expected}\n--- actual ---\n{actual}",
+            exp.name(),
+            exp.name(),
+        );
+    }
+}
+
+macro_rules! golden_report {
+    ($($test:ident => $exp:expr,)+) => {
+        $(
+            #[test]
+            fn $test() {
+                check_golden($exp);
+            }
+        )+
+    };
+}
+
+golden_report! {
+    golden_report_table1 => Experiment::Table1,
+    golden_report_fig5 => Experiment::Fig5,
+    golden_report_dgemm_stream => Experiment::DgemmStream,
+    golden_report_fig6 => Experiment::Fig6,
+    golden_report_table2 => Experiment::Table2,
+    golden_report_table3 => Experiment::Table3,
+    golden_report_stride => Experiment::Stride,
+    golden_report_fig7 => Experiment::Fig7,
+    golden_report_fig8 => Experiment::Fig8,
+    golden_report_table4 => Experiment::Table4,
+    golden_report_fig9 => Experiment::Fig9,
+    golden_report_fig10 => Experiment::Fig10,
+    golden_report_fig11 => Experiment::Fig11,
+    golden_report_table5 => Experiment::Table5,
+    golden_report_table6 => Experiment::Table6,
+    golden_report_degraded => Experiment::Degraded,
+    golden_report_trace => Experiment::Trace,
+}

@@ -1,0 +1,152 @@
+//! Determinism of the parallel sweep executor.
+//!
+//! The contract under test: `run_with_jobs(exp, N)` is **bit-identical**
+//! to the serial `run(exp)` for every experiment and every `N` —
+//! points may execute on any worker in any order, but collation is
+//! keyed by sweep index, so scheduling can never leak into a report.
+//!
+//! Three layers:
+//!
+//! * a proptest over randomly generated synthetic sweep plans (sizes,
+//!   seeds, row shapes) across `N ∈ {1, 2, 7}`;
+//! * an exhaustive pass running every experiment at `jobs = 2` and
+//!   comparing byte-for-byte against the golden fixture in
+//!   `tests/golden/` (which the golden suite separately proves equal to
+//!   the serial output) — plus `jobs = 7` for the cheap experiments;
+//! * a row-order regression on the sweep whose points have the most
+//!   skewed durations (`degraded`), where out-of-order completion is
+//!   guaranteed in practice.
+//!
+//! CI closes the loop end-to-end by diffing the full `repro --jobs 2`
+//! output against `--jobs 1`.
+
+use std::path::PathBuf;
+
+use columbia::experiments::{run_with_jobs, Experiment};
+use columbia::{PointOutput, SweepPlan};
+use proptest::prelude::*;
+
+/// Build a synthetic plan from a seed: `n_points` points, each deriving
+/// its rows and values from a splitmix64 stream so outputs are
+/// data-dependent but reproducible.
+fn synthetic_plan(seed: u64, n_points: usize, rows_per_point: usize) -> SweepPlan {
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    let mut plan = SweepPlan::new("prop", "synthetic sweep", &["point", "row", "value"]);
+    for i in 0..n_points {
+        plan.point_ok(move || {
+            let mut state = seed ^ (i as u64) << 17;
+            let mut out = PointOutput::default();
+            for row in 0..rows_per_point {
+                let v = splitmix(&mut state);
+                out.rows
+                    .push(vec![i.to_string(), row.to_string(), format!("{v:016x}")]);
+            }
+            if i % 3 == 0 {
+                out.notes.push(format!("note from point {i}"));
+            }
+            out.with_value(seed as f64)
+        });
+    }
+    plan.note("plan-level note");
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn synthetic_sweeps_are_schedule_independent(
+        seed in 0u64..u64::MAX,
+        n_points in 0usize..40,
+        rows_per_point in 1usize..4,
+    ) {
+        let serial = synthetic_plan(seed, n_points, rows_per_point)
+            .run_with_jobs(1)
+            .unwrap();
+        for jobs in [2usize, 7] {
+            let par = synthetic_plan(seed, n_points, rows_per_point)
+                .run_with_jobs(jobs)
+                .unwrap();
+            prop_assert_eq!(serial.to_text(), par.to_text(), "jobs={}", jobs);
+            prop_assert_eq!(serial.to_json(), par.to_json(), "jobs={}", jobs);
+        }
+    }
+}
+
+fn golden(exp: Experiment) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join(format!("../../tests/golden/{}.txt", exp.name()));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} (generate with \
+             `UPDATE_GOLDEN=1 cargo test --test golden_values`): {e}",
+            path.display()
+        )
+    })
+}
+
+/// Every experiment, parallel vs the pinned serial output. The golden
+/// suite proves fixture == serial; this proves parallel == fixture;
+/// together: parallel == serial, for all 17.
+#[test]
+fn every_experiment_is_identical_at_jobs_2() {
+    for exp in Experiment::ALL {
+        let par = format!("{}\n", run_with_jobs(exp, 2).to_text());
+        assert_eq!(
+            par,
+            golden(exp),
+            "{} differs between --jobs 2 and the serial golden",
+            exp.name()
+        );
+    }
+}
+
+/// Oversubscribed pool (7 workers on this host's cores) for the cheap
+/// experiments — more workers than points for several of them, which
+/// exercises the pool's hand-off edge cases.
+#[test]
+fn cheap_experiments_are_identical_at_jobs_7() {
+    for exp in [
+        Experiment::Table1,
+        Experiment::Fig5,
+        Experiment::DgemmStream,
+        Experiment::Table2,
+        Experiment::Stride,
+        Experiment::Fig8,
+        Experiment::Fig10,
+        Experiment::Trace,
+    ] {
+        let par = format!("{}\n", run_with_jobs(exp, 7).to_text());
+        assert_eq!(
+            par,
+            golden(exp),
+            "{} differs between --jobs 7 and the serial golden",
+            exp.name()
+        );
+    }
+}
+
+/// Regression: parallel report rows must keep serial row order even
+/// when points complete out of order. The degraded sweep is the
+/// sharpest probe — its healthy baseline (point 0) is among the
+/// *slowest* points (no fault short-circuits), so with 7 workers later
+/// scenarios finish first, and its collation additionally reads
+/// point 0's value to derive every slowdown cell.
+#[test]
+fn degraded_rows_keep_serial_order_under_parallel_completion() {
+    let r = run_with_jobs(Experiment::Degraded, 7);
+    let scenarios: Vec<&str> = r.rows.iter().map(|row| row[0].as_str()).collect();
+    assert_eq!(scenarios[0], "healthy");
+    assert_eq!(
+        &scenarios[1..5],
+        ["drop 2%", "drop 5%", "drop 10%", "drop 20%"]
+    );
+    assert_eq!(r.rows[0][2], "1.000x", "healthy slowdown must be 1.000x");
+    assert_eq!(format!("{}\n", r.to_text()), golden(Experiment::Degraded));
+}
