@@ -14,7 +14,7 @@
 use columbia_hpcc::beff::{self, Pattern};
 use columbia_hpcc::{dgemm, stream};
 use columbia_ins3d::{iteration_seconds, Ins3dConfig};
-use columbia_machine::cluster::{ClusterConfig, InterNodeFabric, NodeId};
+use columbia_machine::cluster::{ClusterConfig, CpuId, InterNodeFabric, NodeId};
 use columbia_machine::node::{NodeKind, NodeModel};
 use columbia_md::scaling::{weak_scaling_point, TABLE5_CPUS};
 use columbia_npb::{gflops_per_cpu, NpbBenchmark, NpbClass, Paradigm};
@@ -27,9 +27,10 @@ use columbia_runtime::compute::WorkPhase;
 use columbia_runtime::exec::{execute_traced, ExecConfig, SpecOp, WorkloadSpec};
 use columbia_runtime::pinning::Pinning;
 use columbia_runtime::placement::{Placement, PlacementStrategy};
-use columbia_simnet::fabric::MptVersion;
+use columbia_simnet::fabric::{CachedFabric, ClusterFabric, MptVersion};
 use columbia_simnet::fault::DEFAULT_MULTIPLEX_QUEUE_PENALTY;
-use columbia_simnet::{ConnectionLimit, ConnectionPolicy, FaultPlan, SimError};
+use columbia_simnet::program::{ByteRule, Peer, ProgramSet, SpmdOp};
+use columbia_simnet::{simulate_on, ConnectionLimit, ConnectionPolicy, FaultPlan, SimError};
 
 use crate::obs_report::hotspot_report;
 use crate::report::{gbs, gf, secs, Report};
@@ -73,11 +74,15 @@ pub enum Experiment {
     /// Tracing demo: a faulted multi-node run captured by the
     /// observability layer, rendered as a per-rank hotspot table.
     Trace,
+    /// Full-machine scaling demo: one SPMD workload over all twenty
+    /// simulated nodes — 10,240 ranks — plus the four-node 2,048-CPU
+    /// NUMAlink4 capability subsystem.
+    Columbia,
 }
 
 impl Experiment {
     /// All experiments in paper order.
-    pub const ALL: [Experiment; 17] = [
+    pub const ALL: [Experiment; 18] = [
         Experiment::Table1,
         Experiment::Fig5,
         Experiment::DgemmStream,
@@ -95,6 +100,7 @@ impl Experiment {
         Experiment::Table6,
         Experiment::Degraded,
         Experiment::Trace,
+        Experiment::Columbia,
     ];
 
     /// CLI name.
@@ -117,6 +123,7 @@ impl Experiment {
             Experiment::Table6 => "table6",
             Experiment::Degraded => "degraded",
             Experiment::Trace => "trace",
+            Experiment::Columbia => "columbia",
         }
     }
 
@@ -155,6 +162,7 @@ pub fn plan(exp: Experiment) -> SweepPlan {
         Experiment::Table6 => table6_plan(),
         Experiment::Degraded => degraded_plan(),
         Experiment::Trace => trace_plan(),
+        Experiment::Columbia => columbia_plan(),
     }
 }
 
@@ -943,6 +951,135 @@ fn trace_plan() -> SweepPlan {
     plan.note(
         "re-run as `repro --exp trace --trace t.json --metrics m.json` for the Perfetto timeline",
     );
+    plan
+}
+
+/// The SPMD template both Columbia points run: ring rounds with a
+/// node-pairing exchange and a small allreduce, closed by a broadcast
+/// and a barrier. `Xor(512)` pairs whole 512-CPU nodes (node 2k with
+/// node 2k+1), so the exchange traffic crosses the inter-node fabric on
+/// every rank; the ring only crosses at node boundaries.
+fn columbia_template() -> Vec<SpmdOp> {
+    let mut t = Vec::new();
+    for round in 0..3u64 {
+        t.push(SpmdOp::Compute(2.0e-4));
+        t.push(SpmdOp::Send {
+            to: Peer::RingOffset(1),
+            bytes: ByteRule::Uniform(8192),
+            tag: round,
+        });
+        t.push(SpmdOp::Recv {
+            from: Peer::RingOffset(-1),
+            tag: round,
+        });
+        t.push(SpmdOp::Exchange {
+            with: Peer::Xor(512),
+            bytes: ByteRule::Uniform(32768),
+            tag: 100 + round,
+        });
+        t.push(SpmdOp::AllReduce { bytes: 64 });
+    }
+    t.push(SpmdOp::Bcast {
+        root: 0,
+        bytes: 1 << 20,
+    });
+    t.push(SpmdOp::Barrier);
+    t
+}
+
+/// Full-machine engine-scaling demo: the whole 2004 Columbia
+/// installation — twenty 512-CPU nodes, 10,240 ranks — running one SPMD
+/// workload over InfiniBand under the §2 connection budget, plus the
+/// four-node 2,048-CPU NUMAlink4 capability subsystem. Runs on the
+/// compact [`ProgramSet`] + [`CachedFabric`] + monomorphized engine
+/// path; a run at this scale is only seconds *because* of those
+/// optimizations (see `cargo bench -p columbia-bench --bench simnet`).
+fn columbia_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new(
+        "Columbia",
+        "full-machine SPMD run: all twenty nodes, 10,240 ranks",
+        &[
+            "configuration",
+            "ranks",
+            "nodes",
+            "fabric",
+            "makespan",
+            "mean comm",
+            "max comm",
+            "multiplexed msgs",
+        ],
+    );
+    plan.point(|| {
+        let cluster = ClusterConfig::columbia();
+        let ranks = cluster.total_cpus() as usize;
+        let cpus: Vec<CpuId> = (0..cluster.nodes.len() as u32)
+            .flat_map(|node| {
+                let per = cluster.node_model(NodeId(node)).cpus;
+                (0..per).map(move |c| CpuId::new(node, c))
+            })
+            .collect();
+        // Pure MPI at 512 procs/node over 19 peers wants p²(n−1) ≈ 5.0M
+        // InfiniBand connections against the 8 × 64K budget, so MPT
+        // multiplexes every cross-node message — the machine's real
+        // §2 behavior at full scale.
+        let faults = FaultPlan::none().with_connection_limit(ConnectionLimit {
+            cards_per_node: cluster.ib_cards_per_node,
+            connections_per_card: cluster.ib_connections_per_card,
+            policy: ConnectionPolicy::Multiplex {
+                queue_penalty: DEFAULT_MULTIPLEX_QUEUE_PENALTY,
+            },
+        });
+        let fabric = CachedFabric::new(ClusterFabric::new(
+            cluster,
+            InterNodeFabric::InfiniBand,
+            MptVersion::Beta,
+            ranks as u32,
+        ));
+        let set = ProgramSet::spmd(ranks, columbia_template());
+        let out = simulate_on(&set, &cpus, &fabric, &faults)?;
+        Ok(PointOutput::row(vec![
+            "full machine".into(),
+            ranks.to_string(),
+            "20".into(),
+            "InfiniBand".into(),
+            secs(out.makespan),
+            secs(out.mean_comm()),
+            secs(out.max_comm()),
+            out.faults.multiplexed_messages.to_string(),
+        ])
+        .with_note(format!(
+            "full machine: section 2's p^2(n-1) formula oversubscribes the connection budget {:.1}x at 512 procs/node over 19 peers, so every cross-node message pays the multiplex queue penalty",
+            out.faults.oversubscription
+        )))
+    });
+    plan.point(|| {
+        let cluster = ClusterConfig::columbia();
+        let sub = cluster.numalink4_subsystem.clone();
+        let ranks = sub.len() * 512;
+        let cpus: Vec<CpuId> = sub
+            .iter()
+            .flat_map(|&node| (0..512).map(move |c| CpuId::new(node.0, c)))
+            .collect();
+        let fabric = CachedFabric::new(ClusterFabric::new(
+            cluster,
+            InterNodeFabric::NumaLink4,
+            MptVersion::Beta,
+            ranks as u32,
+        ));
+        let set = ProgramSet::spmd(ranks, columbia_template());
+        let out = simulate_on(&set, &cpus, &fabric, &FaultPlan::none())?;
+        Ok(PointOutput::row(vec![
+            "capability subsystem".into(),
+            ranks.to_string(),
+            sub.len().to_string(),
+            "NUMAlink4".into(),
+            secs(out.makespan),
+            secs(out.mean_comm()),
+            secs(out.max_comm()),
+            out.faults.multiplexed_messages.to_string(),
+        ]))
+    });
+    plan.note("workload: 3 rounds of (compute, 8 KB ring send/recv, 32 KB node-pair exchange, 64 B allreduce), then a 1 MB broadcast and a barrier, shared across ranks as one ProgramSet template");
     plan
 }
 

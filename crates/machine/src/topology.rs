@@ -134,6 +134,29 @@ impl NodeTopology {
         }
         weighted / total_pairs
     }
+
+    /// Distinct hop counts among the first `cpus` CPUs, each with a
+    /// representative partner for CPU 0, sorted by hop count.
+    ///
+    /// Any pair `(a, b)` with `a, b < cpus` has a hop count that appears
+    /// in this list: hops depend only on the bus/brick relationship and
+    /// the router-tree LCA level, and if bricks at LCA level `L` exist
+    /// among the first `cpus` CPUs then so does the pair
+    /// `(0, first CPU of brick R^(L-1))` with the same level. Cost
+    /// caches (`simnet`'s `CachedFabric`) use the representatives to
+    /// evaluate a fabric once per equivalence class instead of once per
+    /// message.
+    pub fn hop_classes(&self, cpus: u32) -> Vec<(u32, u32)> {
+        let mut classes: Vec<(u32, u32)> = Vec::new();
+        for b in 0..cpus {
+            let h = self.hops(0, b);
+            if !classes.iter().any(|&(hops, _)| hops == h) {
+                classes.push((h, b));
+            }
+        }
+        classes.sort_unstable();
+        classes
+    }
 }
 
 /// Level of the lowest common ancestor of two leaves in a radix-R tree
@@ -214,6 +237,49 @@ mod tests {
                 assert!(t.mean_random_hops(cpus) <= t.diameter(cpus) as f64 + 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn hop_classes_cover_every_pair() {
+        for t in [topo3700(), topo_bx2()] {
+            for cpus in [1u32, 2, 4, 8, 100, 512] {
+                let classes = t.hop_classes(cpus);
+                // Sorted, unique, representatives reproduce their class.
+                for w in classes.windows(2) {
+                    assert!(w[0].0 < w[1].0);
+                }
+                for &(h, rep) in &classes {
+                    assert!(rep < cpus);
+                    assert_eq!(t.hops(0, rep), h);
+                }
+                // Every pair's hop count appears as a class.
+                for a in 0..cpus {
+                    for b in 0..cpus {
+                        let h = t.hops(a, b);
+                        assert!(
+                            classes.iter().any(|&(hops, _)| hops == h),
+                            "cpus={cpus} pair=({a},{b}) hops={h} missing"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hop_classes_known_values_at_512() {
+        // 3700: 4 CPUs/brick → 128 bricks → LCA levels 1..3.
+        let c3 = topo3700().hop_classes(512);
+        assert_eq!(
+            c3.iter().map(|&(h, _)| h).collect::<Vec<_>>(),
+            vec![0, 1, 2, 4, 6]
+        );
+        // BX2: 8 CPUs/brick → 64 bricks → LCA levels 1..2.
+        let cb = topo_bx2().hop_classes(512);
+        assert_eq!(
+            cb.iter().map(|&(h, _)| h).collect::<Vec<_>>(),
+            vec![0, 1, 2, 4]
+        );
     }
 
     #[test]

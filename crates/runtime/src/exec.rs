@@ -11,8 +11,8 @@
 
 use columbia_machine::cluster::{ClusterConfig, InterNodeFabric, NodeId};
 use columbia_obs::{sink, NullTracer, RecordingTracer, Tracer};
-use columbia_simnet::engine::{simulate_traced, Op, SimOutcome};
-use columbia_simnet::fabric::{ClusterFabric, MptVersion};
+use columbia_simnet::engine::{simulate_traced_on, Op, SimOutcome};
+use columbia_simnet::fabric::{CachedFabric, ClusterFabric, MptVersion};
 use columbia_simnet::fault::{
     ConnectionLimit, ConnectionPolicy, FaultPlan, DEFAULT_MULTIPLEX_QUEUE_PENALTY,
 };
@@ -283,10 +283,14 @@ pub fn execute_traced<T: Tracer>(
                 .collect()
         })
         .collect();
-    let fabric = cfg.fabric();
+    // Precompute the pair-class cost tables and run the monomorphized
+    // engine path; bit-identical to the dynamic, uncached path
+    // (property-tested in simnet), just without the per-message
+    // topology walk and vtable hop.
+    let fabric = CachedFabric::new(cfg.fabric());
     let plan = cfg.effective_faults();
-    simulate_traced(
-        &programs,
+    simulate_traced_on(
+        programs.as_slice(),
         &cfg.placement.rank_cpus(),
         &fabric,
         &plan,

@@ -15,7 +15,7 @@ use crate::fabric::Fabric;
 /// Representative latency/bandwidth over a set of participants: the
 /// worst pair for latency (the straggler sets the pace) and the
 /// worst-pair bandwidth. Sampling the diameter pair keeps this O(p).
-fn representative(fabric: &dyn Fabric, cpus: &[CpuId]) -> (f64, f64) {
+fn representative<F: Fabric + ?Sized>(fabric: &F, cpus: &[CpuId]) -> (f64, f64) {
     let p = cpus.len();
     if p < 2 {
         return (0.0, f64::INFINITY);
@@ -37,7 +37,7 @@ fn representative(fabric: &dyn Fabric, cpus: &[CpuId]) -> (f64, f64) {
 
 /// Barrier: a dissemination barrier costs `ceil(log2 p)` rounds of the
 /// representative latency.
-pub fn barrier(fabric: &dyn Fabric, cpus: &[CpuId]) -> f64 {
+pub fn barrier<F: Fabric + ?Sized>(fabric: &F, cpus: &[CpuId]) -> f64 {
     let p = cpus.len() as f64;
     if p < 2.0 {
         return 0.0;
@@ -48,7 +48,7 @@ pub fn barrier(fabric: &dyn Fabric, cpus: &[CpuId]) -> f64 {
 
 /// Allreduce of `bytes` per rank: recursive doubling — `log2 p` rounds,
 /// each moving the full payload.
-pub fn allreduce(fabric: &dyn Fabric, cpus: &[CpuId], bytes: u64) -> f64 {
+pub fn allreduce<F: Fabric + ?Sized>(fabric: &F, cpus: &[CpuId], bytes: u64) -> f64 {
     let p = cpus.len() as f64;
     if p < 2.0 {
         return 0.0;
@@ -59,7 +59,7 @@ pub fn allreduce(fabric: &dyn Fabric, cpus: &[CpuId], bytes: u64) -> f64 {
 }
 
 /// Broadcast of `bytes` from one root: binomial tree.
-pub fn bcast(fabric: &dyn Fabric, cpus: &[CpuId], bytes: u64) -> f64 {
+pub fn bcast<F: Fabric + ?Sized>(fabric: &F, cpus: &[CpuId], bytes: u64) -> f64 {
     let p = cpus.len() as f64;
     if p < 2.0 {
         return 0.0;
@@ -74,7 +74,7 @@ pub fn bcast(fabric: &dyn Fabric, cpus: &[CpuId], bytes: u64) -> f64 {
 ///
 /// This is the pattern that made FT "about twice as fast on BX2 than on
 /// 3700" at 256 CPUs (Fig. 6) — the cost is bandwidth-dominated.
-pub fn alltoall(fabric: &dyn Fabric, cpus: &[CpuId], bytes_per_pair: u64) -> f64 {
+pub fn alltoall<F: Fabric + ?Sized>(fabric: &F, cpus: &[CpuId], bytes_per_pair: u64) -> f64 {
     let p = cpus.len();
     if p < 2 {
         return 0.0;

@@ -32,6 +32,15 @@
 //! inlined functions — the engine is generic over the tracer, so the
 //! disabled path monomorphizes to exactly the untraced code and
 //! produces bit-identical outcomes (regression-tested below).
+//!
+//! The engine is likewise generic over the fabric and the program
+//! representation: [`simulate_on`]/[`simulate_traced_on`] accept any
+//! `F: Fabric` (so per-message cost calls inline — pair them with
+//! [`crate::fabric::CachedFabric`] for table-lookup costs) and any
+//! [`Programs`] (so SPMD workloads can share one
+//! [`crate::program::ProgramSet`] template across all ranks). The
+//! `&dyn Fabric` entry points remain, forwarding into the same code,
+//! and every path is bit-identical (regression- and property-tested).
 
 use std::collections::{HashMap, VecDeque};
 
@@ -43,6 +52,7 @@ use crate::error::{DeadlockReport, PendingOp, SimError};
 use crate::fabric::Fabric;
 use crate::fault::{ConnectionPolicy, FaultPlan, FaultStats, FaultyFabric};
 use crate::mailbox::{IndexedMailbox, MailboxOps};
+use crate::program::Programs;
 
 /// Per-CPU cost of initiating a send (library call + injection), well
 /// under the wire latency; folded out of `Fabric::latency` so overlap
@@ -50,7 +60,7 @@ use crate::mailbox::{IndexedMailbox, MailboxOps};
 const SEND_CPU_OVERHEAD: f64 = 0.2e-6;
 
 /// One instruction of a virtual rank's program.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Op {
     /// Busy compute for the given number of seconds (already costed by
     /// the machine model upstream).
@@ -69,7 +79,10 @@ pub enum Op {
     AllReduce { bytes: u64 },
     /// All-to-all moving `bytes_per_pair` between every ordered pair.
     AllToAll { bytes_per_pair: u64 },
-    /// Broadcast of `bytes` from rank `root`.
+    /// Broadcast of `bytes` from rank `root` (must be a valid rank).
+    /// The tree is charged from the root's clock: ranks that reach the
+    /// broadcast after the root has finished feeding the tree are not
+    /// charged extra wait.
     Bcast { root: usize, bytes: u64 },
 }
 
@@ -229,7 +242,52 @@ pub fn simulate_traced<T: Tracer>(
     plan: &FaultPlan,
     tracer: &mut T,
 ) -> Result<SimOutcome, SimError> {
-    simulate_generic::<T, IndexedMailbox>(programs, cpus, base_fabric, plan, tracer)
+    simulate_generic::<T, IndexedMailbox, [Vec<Op>], dyn Fabric>(
+        programs,
+        cpus,
+        base_fabric,
+        plan,
+        tracer,
+    )
+}
+
+/// Statically-dispatched simulation: generic over the program
+/// representation and the fabric type.
+///
+/// Semantically identical to [`simulate_with_faults`] (bit-identical
+/// outcomes, property-tested), but with `F` known at compile time the
+/// per-message `pt2pt_time` call in the hot loop inlines instead of
+/// going through a vtable — pair with
+/// [`CachedFabric`](crate::fabric::CachedFabric) to make it a table
+/// lookup — and a [`ProgramSet`](crate::program::ProgramSet) template
+/// keeps 10k-rank SPMD programs in O(ops) memory.
+pub fn simulate_on<P, F>(
+    programs: &P,
+    cpus: &[CpuId],
+    fabric: &F,
+    plan: &FaultPlan,
+) -> Result<SimOutcome, SimError>
+where
+    P: Programs + ?Sized,
+    F: Fabric + ?Sized,
+{
+    simulate_traced_on(programs, cpus, fabric, plan, &mut NullTracer)
+}
+
+/// [`simulate_on`] under an arbitrary [`Tracer`].
+pub fn simulate_traced_on<T, P, F>(
+    programs: &P,
+    cpus: &[CpuId],
+    fabric: &F,
+    plan: &FaultPlan,
+    tracer: &mut T,
+) -> Result<SimOutcome, SimError>
+where
+    T: Tracer,
+    P: Programs + ?Sized,
+    F: Fabric + ?Sized,
+{
+    simulate_generic::<T, IndexedMailbox, P, F>(programs, cpus, fabric, plan, tracer)
 }
 
 /// [`simulate_with_faults`] on the original `HashMap`-keyed mailbox
@@ -243,7 +301,7 @@ pub fn simulate_reference_mailbox(
     base_fabric: &dyn Fabric,
     plan: &FaultPlan,
 ) -> Result<SimOutcome, SimError> {
-    simulate_generic::<NullTracer, crate::mailbox::ReferenceMailbox>(
+    simulate_generic::<NullTracer, crate::mailbox::ReferenceMailbox, [Vec<Op>], dyn Fabric>(
         programs,
         cpus,
         base_fabric,
@@ -252,16 +310,16 @@ pub fn simulate_reference_mailbox(
     )
 }
 
-fn simulate_generic<T: Tracer, M: MailboxOps>(
-    programs: &[Vec<Op>],
+fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + ?Sized>(
+    programs: &P,
     cpus: &[CpuId],
-    base_fabric: &dyn Fabric,
+    base_fabric: &F,
     plan: &FaultPlan,
     tracer: &mut T,
 ) -> Result<SimOutcome, SimError> {
-    if programs.len() != cpus.len() {
+    if programs.n_ranks() != cpus.len() {
         return Err(SimError::PlacementMismatch {
-            programs: programs.len(),
+            programs: programs.n_ranks(),
             placements: cpus.len(),
         });
     }
@@ -269,11 +327,14 @@ fn simulate_generic<T: Tracer, M: MailboxOps>(
     if tracer.enabled() && plan.connection_limit.is_some() {
         tracer.gauge("connection_occupancy", oversubscription);
     }
+    // Statically typed: when `F` is a concrete fabric the cost calls
+    // below inline; the `dyn` entry points land here with `F = dyn
+    // Fabric` and behave exactly as before.
     let faulty = FaultyFabric::new(base_fabric, plan);
-    let fabric: &dyn Fabric = &faulty;
+    let fabric = &faulty;
 
-    let n = programs.len();
-    let total_ops: usize = programs.iter().map(Vec::len).sum();
+    let n = programs.n_ranks();
+    let total_ops: usize = programs.total_ops();
     let event_budget = plan
         .event_budget
         .unwrap_or_else(|| 10_000 + 64 * total_ops as u64);
@@ -296,11 +357,17 @@ fn simulate_generic<T: Tracer, M: MailboxOps>(
     // send sequence number the fault sampling keys off
     // (schedule-independent).
     let mut mailbox = M::with_ranks(n);
-    // Collective rendezvous: seq -> ranks arrived.
-    let mut coll_arrivals: HashMap<usize, Vec<usize>> = HashMap::new();
+    // Collective rendezvous. All ranks share one collective frontier
+    // (`coll_seq` only ever advances for everyone at once, below), so
+    // one arrival counter suffices; `coll_gen[r]` records the last
+    // sequence rank `r` joined, making a re-examined blocked rank O(1)
+    // to deduplicate — no per-collective set, no O(p) scan.
+    let mut coll_count: usize = 0;
+    let mut coll_gen: Vec<usize> = vec![usize::MAX; n];
 
-    // At most n ranks are queued at once (in_queue guards duplicates),
-    // so one up-front allocation serves the whole run.
+    // `in_queue` guards duplicates, so at most n ranks are queued; the
+    // spare slot keeps a full queue strictly below capacity so the ring
+    // buffer never reallocates during the run.
     let mut runnable: VecDeque<usize> = VecDeque::with_capacity(n + 1);
     runnable.extend(0..n);
     let mut in_queue = vec![true; n];
@@ -374,7 +441,7 @@ fn simulate_generic<T: Tracer, M: MailboxOps>(
     let mut events: u64 = 0;
     while let Some(r) = runnable.pop_front() {
         in_queue[r] = false;
-        while let Some(op) = programs[r].get(states[r].pc) {
+        while let Some(op) = programs.op(r, states[r].pc) {
             events += 1;
             if events > event_budget {
                 return Err(SimError::WatchdogTimeout {
@@ -394,7 +461,6 @@ fn simulate_generic<T: Tracer, M: MailboxOps>(
                     }
                 }
                 Op::Send { to, bytes, tag } => {
-                    let to = *to;
                     post_send(
                         &mut states,
                         &mut mailbox,
@@ -402,8 +468,8 @@ fn simulate_generic<T: Tracer, M: MailboxOps>(
                         tracer,
                         r,
                         to,
-                        *bytes,
-                        *tag,
+                        bytes,
+                        tag,
                     );
                     states[r].pc += 1;
                     // The receiver may now be unblocked.
@@ -413,7 +479,7 @@ fn simulate_generic<T: Tracer, M: MailboxOps>(
                     }
                 }
                 Op::Recv { from, tag } => {
-                    match mailbox.pop(*from, r, *tag) {
+                    match mailbox.pop(from, r, tag) {
                         Some(arrival) => {
                             let done = states[r].clock.max(arrival);
                             if tracer.enabled() && done > states[r].clock {
@@ -431,7 +497,7 @@ fn simulate_generic<T: Tracer, M: MailboxOps>(
                     // schedule is honoured. A marker message-to-self
                     // records that our send half already went out, so a
                     // blocked exchange does not double-send on wake-up.
-                    let (b, t, w) = (*bytes, *tag, *with);
+                    let (b, t, w) = (bytes, tag, with);
                     let marker_tag = half_exchange_tag(w, t);
                     let already_sent = mailbox.pop(r, r, marker_tag).is_some();
                     if !already_sent {
@@ -460,32 +526,46 @@ fn simulate_generic<T: Tracer, M: MailboxOps>(
                 }
                 Op::Barrier | Op::AllReduce { .. } | Op::AllToAll { .. } | Op::Bcast { .. } => {
                     let seq = states[r].coll_seq;
-                    let arrived = coll_arrivals.entry(seq).or_default();
-                    if !arrived.contains(&r) {
-                        arrived.push(r);
+                    if coll_gen[r] != seq {
+                        coll_gen[r] = seq;
+                        coll_count += 1;
                     }
-                    if arrived.len() == n {
-                        // Everyone is here: charge the collective.
-                        let start = states.iter().map(|s| s.clock).fold(0.0, f64::max);
-                        let cost = match op {
-                            Op::Barrier => collectives::barrier(fabric, cpus),
-                            Op::AllReduce { bytes } => collectives::allreduce(fabric, cpus, *bytes),
-                            Op::AllToAll { bytes_per_pair } => {
-                                collectives::alltoall(fabric, cpus, *bytes_per_pair)
-                            }
-                            Op::Bcast { root: _, bytes } => {
-                                collectives::bcast(fabric, cpus, *bytes)
+                    if coll_count == n {
+                        // Everyone is here: charge the collective. Most
+                        // collectives start once the straggler arrives;
+                        // a broadcast is driven by its root's clock
+                        // (ranks arriving after the root has fed the
+                        // tree are not charged extra wait).
+                        let (start, cost) = match op {
+                            Op::Barrier => (
+                                states.iter().map(|s| s.clock).fold(0.0, f64::max),
+                                collectives::barrier(fabric, cpus),
+                            ),
+                            Op::AllReduce { bytes } => (
+                                states.iter().map(|s| s.clock).fold(0.0, f64::max),
+                                collectives::allreduce(fabric, cpus, bytes),
+                            ),
+                            Op::AllToAll { bytes_per_pair } => (
+                                states.iter().map(|s| s.clock).fold(0.0, f64::max),
+                                collectives::alltoall(fabric, cpus, bytes_per_pair),
+                            ),
+                            Op::Bcast { root, bytes } => {
+                                (states[root].clock, collectives::bcast(fabric, cpus, bytes))
                             }
                             _ => unreachable!(),
                         };
                         let end = start + cost;
-                        coll_arrivals.remove(&seq);
+                        coll_count = 0;
                         for (i, s) in states.iter_mut().enumerate() {
-                            if tracer.enabled() && end > s.clock {
-                                tracer.span(i, SpanKind::Collective, s.clock, end);
+                            // `done == end` except under a broadcast,
+                            // where a rank already past the root-driven
+                            // finish keeps its own clock.
+                            let done = s.clock.max(end);
+                            if tracer.enabled() && done > s.clock {
+                                tracer.span(i, SpanKind::Collective, s.clock, done);
                             }
-                            s.comm += end - s.clock;
-                            s.clock = end;
+                            s.comm += done - s.clock;
+                            s.clock = done;
                             s.coll_seq += 1;
                             s.pc += 1;
                             if i != r && !in_queue[i] {
@@ -507,14 +587,14 @@ fn simulate_generic<T: Tracer, M: MailboxOps>(
     if states
         .iter()
         .enumerate()
-        .any(|(r, s)| s.pc < programs[r].len())
+        .any(|(r, s)| s.pc < programs.len_of(r))
     {
         let stuck: Vec<PendingOp> = states
             .iter()
             .enumerate()
-            .filter(|(r, s)| s.pc < programs[*r].len())
+            .filter(|(r, s)| s.pc < programs.len_of(*r))
             .map(|(r, s)| {
-                let op = programs[r][s.pc].clone();
+                let op = programs.op(r, s.pc).expect("pc < len");
                 PendingOp {
                     rank: r,
                     pc: s.pc,
@@ -678,6 +758,83 @@ mod tests {
         let out = simulate(&progs, &place(n as u32), &fabric()).unwrap();
         assert!(out.makespan > 0.0);
         assert!(out.ranks.iter().all(|r| r.comm > 0.0));
+    }
+
+    #[test]
+    fn bcast_waits_for_a_late_root() {
+        // Root 1 computes for 2 s before broadcasting; every other rank
+        // is already parked at the collective, and must end no earlier
+        // than the root's clock plus the tree cost.
+        let progs: Vec<Vec<Op>> = (0..4)
+            .map(|r| {
+                let mut p = Vec::new();
+                if r == 1 {
+                    p.push(Op::Compute(2.0));
+                }
+                p.push(Op::Bcast {
+                    root: 1,
+                    bytes: 1 << 20,
+                });
+                p
+            })
+            .collect();
+        let out = simulate(&progs, &place(4), &fabric()).unwrap();
+        let cost = collectives::bcast(&fabric(), &place(4), 1 << 20);
+        for r in &out.ranks {
+            assert!((r.total - (2.0 + cost)).abs() < 1e-12, "{}", r.total);
+        }
+        assert!(out.ranks[0].comm > 2.0);
+    }
+
+    #[test]
+    fn bcast_does_not_back_charge_ranks_past_the_root() {
+        // Root 0 broadcasts at t=0; rank 1 shows up at t=2 having
+        // computed. The tree finished long before, so rank 1 keeps its
+        // own clock and pays no collective wait.
+        let progs = vec![
+            vec![Op::Bcast { root: 0, bytes: 64 }],
+            vec![Op::Compute(2.0), Op::Bcast { root: 0, bytes: 64 }],
+        ];
+        let out = simulate(&progs, &place(2), &fabric()).unwrap();
+        let cost = collectives::bcast(&fabric(), &place(2), 64);
+        assert!((out.ranks[0].total - cost).abs() < 1e-12);
+        assert!((out.ranks[1].total - 2.0).abs() < 1e-12);
+        assert_eq!(out.ranks[1].comm, 0.0);
+    }
+
+    #[test]
+    fn spmd_program_set_on_cached_fabric_matches_per_rank_on_dyn() {
+        use crate::program::{ByteRule, Peer, ProgramSet, SpmdOp};
+        let template = vec![
+            SpmdOp::Compute(1e-4),
+            SpmdOp::Send {
+                to: Peer::RingOffset(1),
+                bytes: ByteRule::Uniform(8192),
+                tag: 1,
+            },
+            SpmdOp::Recv {
+                from: Peer::RingOffset(-1),
+                tag: 1,
+            },
+            SpmdOp::Exchange {
+                with: Peer::Xor(1),
+                bytes: ByteRule::RankScaled { base: 256, step: 8 },
+                tag: 2,
+            },
+            SpmdOp::AllReduce { bytes: 64 },
+            SpmdOp::Bcast {
+                root: 3,
+                bytes: 512,
+            },
+        ];
+        let set = ProgramSet::spmd(8, template);
+        let direct = fabric();
+        let cached = crate::fabric::CachedFabric::new(direct.clone());
+        for plan in [FaultPlan::none(), FaultPlan::with_drops(13, 0.3)] {
+            let fast = simulate_on(&set, &place(8), &cached, &plan).unwrap();
+            let slow = simulate_with_faults(&set.materialize(), &place(8), &direct, &plan).unwrap();
+            assert_eq!(fast, slow);
+        }
     }
 
     #[test]

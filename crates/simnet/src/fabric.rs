@@ -8,7 +8,7 @@
 //! InfiniBand between nodes.
 
 use columbia_machine::calib;
-use columbia_machine::cluster::{ClusterConfig, CpuId, InterNodeFabric};
+use columbia_machine::cluster::{ClusterConfig, CpuId, InterNodeFabric, NodeId};
 use columbia_machine::topology::NodeTopology;
 
 /// Version of SGI's Message Passing Toolkit runtime in use.
@@ -246,6 +246,144 @@ impl Fabric for ClusterFabric {
     }
 }
 
+/// Per-node cost tables indexed by router hop count.
+#[derive(Debug, Clone)]
+struct NodeCostCache {
+    topo: NodeTopology,
+    /// Indexed by hop count; entries at hop values no pair of this
+    /// node's CPUs can produce are `NaN` sentinels (never hit for valid
+    /// CPU indices — the query path falls back to direct evaluation).
+    lat_by_hops: Vec<f64>,
+    bw_by_hops: Vec<f64>,
+}
+
+/// A memoized view of a [`ClusterFabric`] serving per-message costs
+/// from precomputed tables.
+///
+/// CPU pairs on the hierarchical topology fall into a handful of
+/// equivalence classes: within a node the cost depends only on the
+/// router hop count (same bus, same brick, router-tree LCA level);
+/// across nodes it depends only on the node pair, never on the CPU
+/// indices. `CachedFabric` classifies once at construction — per-node
+/// latency/bandwidth tables evaluated at the
+/// [`NodeTopology::hop_classes`] representatives, plus dense node-pair
+/// tables for cross-node traffic — so the per-message `pt2pt_time` in
+/// the engine's hot loop becomes a table lookup instead of a topology
+/// walk (and, on InfiniBand, a `powf`). Every entry is produced by
+/// evaluating the wrapped fabric itself, so the cache is *bitwise*
+/// identical to direct evaluation (property-tested).
+#[derive(Debug, Clone)]
+pub struct CachedFabric {
+    inner: ClusterFabric,
+    nodes: Vec<NodeCostCache>,
+    /// `latency(node s → node d)` at index `s * n + d` (diagonal unused).
+    cross_lat: Vec<f64>,
+    cross_bw: Vec<f64>,
+}
+
+impl CachedFabric {
+    /// Precompute the pair-class tables for `inner`.
+    pub fn new(inner: ClusterFabric) -> Self {
+        let n = inner.config().nodes.len();
+        let mut nodes = Vec::with_capacity(n);
+        for node in 0..n as u32 {
+            let model = inner.config().node_model(NodeId(node));
+            let topo = NodeTopology::new(model.brick);
+            let classes = topo.hop_classes(model.cpus);
+            let max_hops = classes.last().map_or(0, |&(h, _)| h) as usize;
+            let mut lat_by_hops = vec![f64::NAN; max_hops + 1];
+            let mut bw_by_hops = vec![f64::NAN; max_hops + 1];
+            for &(h, rep) in &classes {
+                let (a, b) = (CpuId::new(node, 0), CpuId::new(node, rep));
+                lat_by_hops[h as usize] = inner.latency(a, b);
+                bw_by_hops[h as usize] = inner.bandwidth(a, b);
+            }
+            nodes.push(NodeCostCache {
+                topo,
+                lat_by_hops,
+                bw_by_hops,
+            });
+        }
+        let mut cross_lat = vec![0.0; n * n];
+        let mut cross_bw = vec![0.0; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let (a, b) = (CpuId::new(s as u32, 0), CpuId::new(d as u32, 0));
+                cross_lat[s * n + d] = inner.latency(a, b);
+                cross_bw[s * n + d] = inner.bandwidth(a, b);
+            }
+        }
+        CachedFabric {
+            inner,
+            nodes,
+            cross_lat,
+            cross_bw,
+        }
+    }
+
+    /// The wrapped fabric.
+    pub fn inner(&self) -> &ClusterFabric {
+        &self.inner
+    }
+
+    fn cross(&self, table: &[f64], src: CpuId, dst: CpuId) -> Option<f64> {
+        let n = self.nodes.len();
+        let (s, d) = (src.node.0 as usize, dst.node.0 as usize);
+        if s < n && d < n {
+            Some(table[s * n + d])
+        } else {
+            None
+        }
+    }
+
+    fn in_node(
+        &self,
+        by_hops: fn(&NodeCostCache) -> &[f64],
+        src: CpuId,
+        dst: CpuId,
+    ) -> Option<f64> {
+        let cache = self.nodes.get(src.node.0 as usize)?;
+        let h = cache.topo.hops(src.cpu, dst.cpu) as usize;
+        match by_hops(cache).get(h) {
+            Some(&v) if !v.is_nan() => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl Fabric for CachedFabric {
+    fn latency(&self, src: CpuId, dst: CpuId) -> f64 {
+        let hit = if src.node == dst.node {
+            self.in_node(|c| &c.lat_by_hops, src, dst)
+        } else {
+            self.cross(&self.cross_lat, src, dst)
+        };
+        hit.unwrap_or_else(|| self.inner.latency(src, dst))
+    }
+
+    fn bandwidth(&self, src: CpuId, dst: CpuId) -> f64 {
+        let hit = if src.node == dst.node {
+            self.in_node(|c| &c.bw_by_hops, src, dst)
+        } else {
+            self.cross(&self.cross_bw, src, dst)
+        };
+        hit.unwrap_or_else(|| self.inner.bandwidth(src, dst))
+    }
+
+    // Collective-level models are evaluated once per collective, not
+    // per message — delegate rather than cache.
+    fn alltoall_bandwidth(&self, cpus: &[CpuId]) -> f64 {
+        self.inner.alltoall_bandwidth(cpus)
+    }
+
+    fn internode_contention(&self, flows: u32) -> f64 {
+        self.inner.internode_contention(flows)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,5 +475,61 @@ mod tests {
         let t1m = f.pt2pt_time(a, b, 1 << 20);
         assert!((t0 - f.latency(a, b)).abs() < 1e-15);
         assert!((t1m - t0 - (1u64 << 20) as f64 / f.bandwidth(a, b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_fabric_is_bitwise_identical_in_node() {
+        for kind in [NodeKind::Altix3700, NodeKind::Bx2a, NodeKind::Bx2b] {
+            let direct = ClusterFabric::single_node(ClusterConfig::uniform(kind, 1));
+            let cached = CachedFabric::new(direct.clone());
+            for a in [0u32, 1, 3, 7, 63, 200, 511] {
+                for b in [0u32, 2, 5, 64, 255, 510] {
+                    let (x, y) = (cpu(0, a), cpu(0, b));
+                    assert_eq!(
+                        direct.latency(x, y).to_bits(),
+                        cached.latency(x, y).to_bits()
+                    );
+                    assert_eq!(
+                        direct.bandwidth(x, y).to_bits(),
+                        cached.bandwidth(x, y).to_bits()
+                    );
+                    assert_eq!(
+                        direct.pt2pt_time(x, y, 8192).to_bits(),
+                        cached.pt2pt_time(x, y, 8192).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_fabric_is_bitwise_identical_across_columbia_nodes() {
+        // The full heterogeneous machine: both fabrics, both MPT
+        // versions, and the released-MPT powf penalty path.
+        for inter in [InterNodeFabric::NumaLink4, InterNodeFabric::InfiniBand] {
+            for mpt in [MptVersion::Beta, MptVersion::Released] {
+                let direct = ClusterFabric::new(ClusterConfig::columbia(), inter, mpt, 10_240);
+                let cached = CachedFabric::new(direct.clone());
+                for (s, d) in [(0u32, 1u32), (0, 12), (11, 19), (15, 18), (19, 0)] {
+                    for (a, b) in [(0u32, 0u32), (17, 300), (511, 511)] {
+                        let (x, y) = (cpu(s, a), cpu(d, b));
+                        assert_eq!(
+                            direct.latency(x, y).to_bits(),
+                            cached.latency(x, y).to_bits(),
+                            "lat nodes {s}->{d}"
+                        );
+                        assert_eq!(
+                            direct.bandwidth(x, y).to_bits(),
+                            cached.bandwidth(x, y).to_bits(),
+                            "bw nodes {s}->{d}"
+                        );
+                    }
+                }
+                assert_eq!(
+                    direct.internode_contention(512),
+                    cached.internode_contention(512)
+                );
+            }
+        }
     }
 }

@@ -376,19 +376,23 @@ impl FaultStats {
 /// Wraps an inner fabric; only node pairs named by a fault change, so
 /// under a plan without link faults the wrapper is cost-transparent
 /// (multiplications by 1.0 preserve bit-identity).
-pub struct FaultyFabric<'a> {
-    inner: &'a dyn Fabric,
+///
+/// Generic over the inner fabric type (defaulting to `dyn Fabric` for
+/// the public dynamic entry points) so the engine's statically-typed
+/// path monomorphizes the per-message cost calls away.
+pub struct FaultyFabric<'a, F: Fabric + ?Sized = dyn Fabric> {
+    inner: &'a F,
     plan: &'a FaultPlan,
 }
 
-impl<'a> FaultyFabric<'a> {
+impl<'a, F: Fabric + ?Sized> FaultyFabric<'a, F> {
     /// View `inner` through `plan`'s link faults.
-    pub fn new(inner: &'a dyn Fabric, plan: &'a FaultPlan) -> Self {
+    pub fn new(inner: &'a F, plan: &'a FaultPlan) -> Self {
         FaultyFabric { inner, plan }
     }
 }
 
-impl Fabric for FaultyFabric<'_> {
+impl<F: Fabric + ?Sized> Fabric for FaultyFabric<'_, F> {
     fn latency(&self, src: CpuId, dst: CpuId) -> f64 {
         let base = self.inner.latency(src, dst);
         if src.node == dst.node {

@@ -15,6 +15,9 @@
 //!   attribution;
 //! * [`collectives`] — closed-form cost models for barrier, allreduce,
 //!   broadcast, and all-to-all, shared by the engine;
+//! * [`program`] — compact SPMD program representations: one
+//!   [`program::ProgramSet`] template shared across all ranks keeps a
+//!   10,240-rank program in O(ops) memory;
 //! * [`patterns`] — the HPCC `b_eff` communication patterns (ping-pong,
 //!   natural ring, random ring) including the statistical contention
 //!   model for bisection-crossing flows;
@@ -42,12 +45,17 @@ pub mod fabric;
 pub mod fault;
 pub mod mailbox;
 pub mod patterns;
+pub mod program;
 
 pub use columbia_obs as obs;
-pub use engine::{simulate, simulate_traced, simulate_with_faults, Op, RankResult, SimOutcome};
+pub use engine::{
+    simulate, simulate_on, simulate_traced, simulate_traced_on, simulate_with_faults, Op,
+    RankResult, SimOutcome,
+};
 pub use error::{DeadlockReport, PendingOp, SimError};
-pub use fabric::{ClusterFabric, Fabric, MptVersion};
+pub use fabric::{CachedFabric, ClusterFabric, Fabric, MptVersion};
 pub use fault::{
     ConnectionLimit, ConnectionPolicy, CpuSlowdown, FaultPlan, FaultStats, FaultyFabric, LinkFault,
     LinkState, RetransmitPolicy,
 };
+pub use program::{ByteRule, Peer, ProgramSet, Programs, SpmdOp};

@@ -1,10 +1,13 @@
 //! Property-based tests over the discrete-event engine and fabrics.
 
-use columbia_machine::cluster::{ClusterConfig, CpuId};
+use columbia_machine::cluster::{ClusterConfig, CpuId, InterNodeFabric};
 use columbia_machine::node::NodeKind;
-use columbia_simnet::fabric::{ClusterFabric, Fabric};
+use columbia_simnet::fabric::{CachedFabric, ClusterFabric, Fabric, MptVersion};
 use columbia_simnet::obs::{RecordingTracer, Track};
-use columbia_simnet::{simulate, simulate_traced, simulate_with_faults, FaultPlan, Op};
+use columbia_simnet::program::{ByteRule, Peer, ProgramSet, SpmdOp};
+use columbia_simnet::{
+    simulate, simulate_on, simulate_traced, simulate_with_faults, FaultPlan, Op,
+};
 use proptest::prelude::*;
 
 fn fabric() -> ClusterFabric {
@@ -239,5 +242,84 @@ proptest! {
             .slow_cpu(CpuId::new(0, 0), slowdown);
         let faulted = simulate_with_faults(&programs, &cpus, &fabric(), &plan).unwrap();
         prop_assert!(faulted.makespan >= base.makespan);
+    }
+
+    #[test]
+    fn cached_fabric_is_bitwise_identical_to_cluster_fabric(
+        kind in prop::sample::select(vec![NodeKind::Altix3700, NodeKind::Bx2a, NodeKind::Bx2b]),
+        n_nodes in 1u32..5,
+        inter in prop::sample::select(vec![
+            InterNodeFabric::NumaLink4,
+            InterNodeFabric::InfiniBand,
+        ]),
+        mpt in prop::sample::select(vec![MptVersion::Released, MptVersion::Beta]),
+        sa in 0u32..512,
+        sb in 0u32..512,
+        na in 0u32..5,
+        nb in 0u32..5,
+        bytes in 1u64..10_000_000,
+    ) {
+        // The pair-class cache must reproduce every point cost exactly —
+        // same bits, not just close — across node kinds, inter-node
+        // fabrics, and MPT versions, for in-node and cross-node pairs.
+        let direct = ClusterFabric::new(
+            ClusterConfig::uniform(kind, n_nodes),
+            inter,
+            mpt,
+            n_nodes * 512,
+        );
+        let cached = CachedFabric::new(direct.clone());
+        let a = CpuId::new(na % n_nodes, sa);
+        let b = CpuId::new(nb % n_nodes, sb);
+        prop_assert_eq!(cached.latency(a, b).to_bits(), direct.latency(a, b).to_bits());
+        prop_assert_eq!(cached.bandwidth(a, b).to_bits(), direct.bandwidth(a, b).to_bits());
+        prop_assert_eq!(
+            cached.pt2pt_time(a, b, bytes).to_bits(),
+            direct.pt2pt_time(a, b, bytes).to_bits()
+        );
+    }
+
+    #[test]
+    fn spmd_cached_static_engine_matches_per_rank_dyn_uncached(
+        half in 1usize..12,
+        bytes in 1u64..200_000,
+        compute in 1e-6f64..1e-3,
+        seed in 0u64..u64::MAX,
+        drop_prob in 0.0f64..0.5,
+        root_pick in 0usize..24,
+    ) {
+        // The whole fast path at once — compact SPMD programs on a
+        // CachedFabric through the statically dispatched engine — must
+        // be bit-identical to materialized per-rank programs on the
+        // uncached fabric through dynamic dispatch, fault plans and all.
+        let n = 2 * half; // even, so Xor(1) pairs every rank
+        let template = vec![
+            SpmdOp::Compute(compute),
+            SpmdOp::Send {
+                to: Peer::RingOffset(1),
+                bytes: ByteRule::RankScaled { base: bytes, step: 64 },
+                tag: 7,
+            },
+            SpmdOp::Recv { from: Peer::RingOffset(-1), tag: 7 },
+            SpmdOp::Exchange { with: Peer::Xor(1), bytes: ByteRule::Uniform(bytes), tag: 9 },
+            SpmdOp::AllReduce { bytes: 256 },
+            SpmdOp::Bcast { root: root_pick % n, bytes },
+            SpmdOp::Barrier,
+        ];
+        let set = ProgramSet::spmd(n, template);
+        let direct = ClusterFabric::new(
+            ClusterConfig::uniform(NodeKind::Bx2b, 2),
+            InterNodeFabric::InfiniBand,
+            MptVersion::Released,
+            n as u32,
+        );
+        let cached = CachedFabric::new(direct.clone());
+        let cpus: Vec<CpuId> = (0..n)
+            .map(|r| CpuId::new((r % 2) as u32, (r / 2) as u32))
+            .collect();
+        let plan = FaultPlan::with_drops(seed, drop_prob);
+        let fast = simulate_on(&set, &cpus, &cached, &plan).unwrap();
+        let slow = simulate_with_faults(&set.materialize(), &cpus, &direct, &plan).unwrap();
+        prop_assert_eq!(fast, slow);
     }
 }

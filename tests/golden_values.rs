@@ -214,4 +214,5 @@ golden_report! {
     golden_report_table6 => Experiment::Table6,
     golden_report_degraded => Experiment::Degraded,
     golden_report_trace => Experiment::Trace,
+    golden_report_columbia => Experiment::Columbia,
 }

@@ -93,7 +93,7 @@ fn golden(exp: Experiment) -> String {
 
 /// Every experiment, parallel vs the pinned serial output. The golden
 /// suite proves fixture == serial; this proves parallel == fixture;
-/// together: parallel == serial, for all 17.
+/// together: parallel == serial, for all 18.
 #[test]
 fn every_experiment_is_identical_at_jobs_2() {
     for exp in Experiment::ALL {
