@@ -8,6 +8,10 @@
 //! repro --list                # experiment ids
 //! repro --trace out.json      # capture a Chrome/Perfetto timeline
 //! repro --metrics out.json    # dump fabric counters + CommProfiles
+//! repro --checkpoint-dir d    # persist completed sweep points under d/
+//! repro --resume              # skip points already checkpointed
+//! repro --point-deadline 30   # abandon any point running >30s (wall clock)
+//! repro --max-retries 2       # retry panicked/timed-out points twice
 //! ```
 //!
 //! `--jobs N` runs each experiment's sweep points on an N-thread
@@ -22,10 +26,23 @@
 //! counters, compute/comm/wait attribution) and exported when the run
 //! finishes. Load the trace file at <https://ui.perfetto.dev> — one
 //! process per simulation, one CPU track and one net track per rank.
+//!
+//! Any of `--checkpoint-dir`, `--resume`, `--point-deadline`, or
+//! `--max-retries` switches to the **resilient** executor
+//! (`SweepPlan::run_resilient`): point panics and deadline overruns
+//! degrade to diagnostic rows instead of aborting the run, completed
+//! points are checkpointed per experiment under
+//! `<checkpoint-dir>/<exp>/`, and `--resume` serves checkpointed
+//! points without re-running them. Resume/retry statistics go to
+//! stderr only — stdout stays byte-identical to an uninterrupted run,
+//! which is what the CI resume smoke gate diffs against the golden.
 
-use columbia::experiments::{run_with_jobs, Experiment};
+use std::time::Duration;
+
+use columbia::experiments::{run_resilient, run_with_jobs, Experiment};
 use columbia::obs::{chrome_trace, sink};
 use columbia::par;
+use columbia::{PointStore, ResilienceOptions};
 use serde_json::Value;
 
 /// Parse `--flag <value>` out of the argument list.
@@ -34,7 +51,7 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     match args.get(i + 1) {
         Some(v) if !v.starts_with("--") => Some(v.clone()),
         _ => {
-            eprintln!("{flag} requires a file path");
+            eprintln!("{flag} requires a value");
             std::process::exit(2);
         }
     }
@@ -69,6 +86,31 @@ fn main() {
         },
         None => par::available_parallelism(),
     };
+
+    // Resilience flags: any of them selects the resilient executor.
+    let checkpoint_dir = flag_value(&args, "--checkpoint-dir");
+    let resume = args.iter().any(|a| a == "--resume");
+    let point_deadline = flag_value(&args, "--point-deadline").map(|v| match v.parse::<f64>() {
+        Ok(s) if s > 0.0 && s.is_finite() => Duration::from_secs_f64(s),
+        _ => {
+            eprintln!("--point-deadline requires a positive number of seconds");
+            std::process::exit(2);
+        }
+    });
+    let max_retries = flag_value(&args, "--max-retries").map(|v| match v.parse::<u32>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("--max-retries requires a non-negative integer");
+            std::process::exit(2);
+        }
+    });
+    if resume && checkpoint_dir.is_none() {
+        eprintln!("--resume requires --checkpoint-dir (where would the checkpoints be?)");
+        std::process::exit(2);
+    }
+    let resilient =
+        checkpoint_dir.is_some() || resume || point_deadline.is_some() || max_retries.is_some();
+
     let selected: Vec<Experiment> = match args.iter().position(|a| a == "--exp") {
         Some(i) => {
             let name = args.get(i + 1).unwrap_or_else(|| {
@@ -89,40 +131,84 @@ fn main() {
     if collecting {
         sink::install();
     }
+    let mut failed_points = 0usize;
     for exp in selected {
-        let report = run_with_jobs(exp, jobs);
+        let report = if resilient {
+            // One store subdirectory per experiment, so different
+            // experiments' entries never share a namespace on disk.
+            let store = checkpoint_dir.as_ref().map(|dir| {
+                let path = std::path::Path::new(dir).join(exp.name());
+                PointStore::open(path).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                })
+            });
+            let opts = ResilienceOptions {
+                deadline: point_deadline,
+                max_retries: max_retries.unwrap_or(0),
+                store,
+                resume,
+                ..ResilienceOptions::default()
+            };
+            let outcome = run_resilient(exp, jobs, opts);
+            // Stats are stderr-only: stdout must stay byte-identical
+            // to a plain run so resume can be diffed against goldens.
+            let s = outcome.stats;
+            eprintln!(
+                "{}: {} point(s), {} resumed, {} retried, {} failed",
+                exp.name(),
+                s.points,
+                s.resumed,
+                s.retries,
+                s.failed
+            );
+            for failure in &outcome.failures {
+                eprintln!("  {failure}");
+            }
+            if s.checkpoint_errors > 0 {
+                eprintln!("  {} checkpoint write(s) failed", s.checkpoint_errors);
+            }
+            failed_points += s.failed;
+            outcome.report
+        } else {
+            run_with_jobs(exp, jobs)
+        };
         if json {
             println!("{}", report.to_json());
         } else {
             println!("{}", report.to_text());
         }
     }
-    if !collecting {
-        return;
+    if collecting {
+        let bundles = sink::take();
+        eprintln!("captured {} simulation(s)", bundles.len());
+        if let Some(path) = trace_path {
+            let doc = chrome_trace(&bundles);
+            write_or_die(&path, &serde_json::to_string(&doc));
+        }
+        if let Some(path) = metrics_path {
+            let mut doc = Value::object();
+            doc.set(
+                "sims",
+                Value::Array(
+                    bundles
+                        .iter()
+                        .map(|b| {
+                            let mut o = Value::object();
+                            o.set("label", Value::String(b.label.clone()));
+                            o.set("metrics", b.metrics.to_value());
+                            o.set("profile", b.profile.to_value());
+                            o
+                        })
+                        .collect(),
+                ),
+            );
+            write_or_die(&path, &serde_json::to_string_pretty(&doc));
+        }
     }
-    let bundles = sink::take();
-    eprintln!("captured {} simulation(s)", bundles.len());
-    if let Some(path) = trace_path {
-        let doc = chrome_trace(&bundles);
-        write_or_die(&path, &serde_json::to_string(&doc));
-    }
-    if let Some(path) = metrics_path {
-        let mut doc = Value::object();
-        doc.set(
-            "sims",
-            Value::Array(
-                bundles
-                    .iter()
-                    .map(|b| {
-                        let mut o = Value::object();
-                        o.set("label", Value::String(b.label.clone()));
-                        o.set("metrics", b.metrics.to_value());
-                        o.set("profile", b.profile.to_value());
-                        o
-                    })
-                    .collect(),
-            ),
-        );
-        write_or_die(&path, &serde_json::to_string_pretty(&doc));
+    if failed_points > 0 {
+        // Reports were still produced (with diagnostic rows), but the
+        // campaign is incomplete; say so in the exit code.
+        std::process::exit(3);
     }
 }

@@ -34,7 +34,7 @@ use columbia_simnet::{simulate_on, ConnectionLimit, ConnectionPolicy, FaultPlan,
 
 use crate::obs_report::hotspot_report;
 use crate::report::{gbs, gf, secs, Report};
-use crate::sweep::{PointOutput, SweepPlan};
+use crate::sweep::{PointOutput, ResilienceOptions, SweepOutcome, SweepPlan};
 
 /// Every table and figure of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -192,6 +192,19 @@ pub fn run_with_jobs(exp: Experiment, jobs: usize) -> Report {
 /// output.
 pub fn run(exp: Experiment) -> Report {
     run_with_jobs(exp, 1)
+}
+
+/// Run one experiment under a resilience policy (panic isolation,
+/// per-point deadlines, bounded retry, checkpoint/resume) — the path
+/// behind `repro --resume/--point-deadline/--max-retries`. Checkpoint
+/// keys default to the experiment's canonical name, so a resumed run
+/// finds the entries an interrupted run of the same experiment left
+/// behind. With every point succeeding the report is byte-identical to
+/// [`run_with_jobs`]'s.
+pub fn run_resilient(exp: Experiment, jobs: usize, mut opts: ResilienceOptions) -> SweepOutcome {
+    opts.experiment
+        .get_or_insert_with(|| exp.name().to_string());
+    plan(exp).run_resilient_with_jobs(jobs, opts)
 }
 
 /// Render a [`SimError`] as a report so failures are first-class

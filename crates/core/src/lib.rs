@@ -44,12 +44,14 @@ pub use columbia_simnet as simnet;
 pub mod experiments;
 pub mod obs_report;
 pub mod report;
+pub mod store;
 pub mod sweep;
 
 pub use experiments::{run, run_with_jobs, Experiment};
 pub use obs_report::hotspot_report;
 pub use report::{Report, ReportError};
-pub use sweep::{PointOutput, SweepPlan};
+pub use store::{PointKey, PointStore, StoreError};
+pub use sweep::{PointError, PointOutput, ResilienceOptions, SweepOutcome, SweepPlan, SweepStats};
 
 /// Assert a computed `f64` matches a golden value within a relative
 /// tolerance: `assert_close!(actual, expected, rel)`, optionally with a

@@ -12,16 +12,51 @@
 //! regardless of scheduling (property-tested, and enforced by the CI
 //! determinism gate diffing `repro --jobs 2` against `--jobs 1`).
 //!
-//! Error semantics are also canonical: every point runs to completion
-//! and the error of the *lowest-indexed* failing point is returned, so
-//! a parallel run cannot surface a different failure than the serial
-//! one just because a later point crashed first.
+//! Error semantics are also canonical: the error of the
+//! *lowest-indexed* failing point is returned — every point at or
+//! below that index runs to completion, so a parallel run cannot
+//! surface a different failure than the serial one just because a
+//! later point crashed first.
+//!
+//! # Resilient execution
+//!
+//! [`SweepPlan::run_resilient`] is the batch-campaign variant of
+//! [`SweepPlan::run`]: instead of aborting the sweep at the first
+//! failure it runs *everything*, under a resilience policy
+//! ([`ResilienceOptions`]):
+//!
+//! * a panicking point becomes a typed [`PointError::Panicked`] in the
+//!   outcome (the pool is never poisoned — see `columbia-par`);
+//! * a hung point is abandoned at its wall-clock deadline and becomes
+//!   [`PointError::DeadlineExceeded`];
+//! * failed attempts are retried up to `max_retries` times on a seeded
+//!   deterministic backoff;
+//! * with a checkpoint store attached ([`PointStore`]), every
+//!   completed point is persisted, and `resume` serves previously
+//!   checkpointed points without re-running them;
+//! * failures degrade the report to diagnostic rows (one per failed
+//!   point) instead of discarding the sweep, and the whole episode is
+//!   summarized as `sweep.*` counters and a per-point latency
+//!   histogram in the `columbia-obs` sink when one is installed.
+//!
+//! A resilient run in which every point succeeds produces a report
+//! **byte-identical** to [`SweepPlan::run`]'s — and because collation
+//! is deterministic in sweep-index order, a run killed mid-sweep and
+//! resumed from its checkpoint directory is byte-identical to an
+//! uninterrupted one (gated by the CI resume smoke test).
 
-use columbia_obs::sink;
-use columbia_par::ThreadPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use columbia_obs::metrics::Metrics;
+use columbia_obs::sink::{self, TraceBundle};
+use columbia_par::{panic_message, JobFailure, JobStatus, RunOptions, ThreadPool};
 use columbia_simnet::SimError;
 
 use crate::report::Report;
+use crate::store::{Fnv128, PointKey, PointStore};
 
 /// What one sweep point contributes to the report.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -68,12 +103,172 @@ impl PointOutput {
 
 /// One independent sweep job: runs an isolated simulation (or a small
 /// family of them) and returns its contribution to the report.
-pub type SweepPoint = Box<dyn FnOnce() -> Result<PointOutput, SimError> + Send>;
+///
+/// Points are `Fn` (not `FnOnce`) so the resilient executor can retry
+/// them, and `Sync` so a deadline watchdog can re-invoke them from a
+/// supervised thread. In practice every experiment's points capture
+/// only small `Copy` configuration (CPU counts, seeds, fabric enums),
+/// so the stronger bound costs nothing.
+pub type SweepPoint = Box<dyn Fn() -> Result<PointOutput, SimError> + Send + Sync>;
 
 /// Collation hook: builds the report body from the index-ordered point
 /// outputs. The default appends every point's rows, then every point's
 /// notes, in sweep order.
 pub type Collate = Box<dyn FnOnce(&mut Report, Vec<PointOutput>)>;
+
+/// Why one sweep point produced no usable output under
+/// [`SweepPlan::run_resilient`]. Ordered by sweep index in
+/// [`SweepOutcome::failures`], so the first element is the canonical
+/// lowest-indexed failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointError {
+    /// The simulation itself failed (deadlock, placement mismatch, …).
+    Sim {
+        /// Sweep index of the failing point.
+        point: usize,
+        /// The underlying simulation error.
+        error: SimError,
+    },
+    /// The point panicked on every attempt.
+    Panicked {
+        /// Sweep index of the failing point.
+        point: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Rendered panic payload of the final attempt.
+        message: String,
+    },
+    /// The point overran its wall-clock deadline on every attempt and
+    /// was abandoned by the watchdog.
+    DeadlineExceeded {
+        /// Sweep index of the failing point.
+        point: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The configured per-attempt deadline.
+        deadline: Duration,
+    },
+    /// The point's result slot was never settled — a pool invariant
+    /// was violated. Surfaced as data, never as a panic.
+    Lost {
+        /// Sweep index of the lost point.
+        point: usize,
+    },
+}
+
+impl PointError {
+    /// Sweep index of the failing point.
+    pub fn point(&self) -> usize {
+        match self {
+            PointError::Sim { point, .. }
+            | PointError::Panicked { point, .. }
+            | PointError::DeadlineExceeded { point, .. }
+            | PointError::Lost { point } => *point,
+        }
+    }
+
+    /// One-line description without the `point N` prefix (diagnostic
+    /// rows carry the index in their own cell). Multi-line simulation
+    /// errors (deadlock reports) are truncated to their first line.
+    pub fn describe(&self) -> String {
+        match self {
+            PointError::Sim { error, .. } => {
+                let text = error.to_string();
+                text.lines()
+                    .next()
+                    .unwrap_or("simulation error")
+                    .to_string()
+            }
+            PointError::Panicked {
+                attempts, message, ..
+            } => {
+                let first = message.lines().next().unwrap_or("");
+                format!("panicked after {attempts} attempt(s): {first}")
+            }
+            PointError::DeadlineExceeded {
+                attempts, deadline, ..
+            } => format!(
+                "exceeded its {:.3}s deadline on all {attempts} attempt(s)",
+                deadline.as_secs_f64()
+            ),
+            PointError::Lost { .. } => "result lost (pool invariant violated)".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for PointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "point {}: {}", self.point(), self.describe())
+    }
+}
+
+impl std::error::Error for PointError {}
+
+/// Policy knobs for [`SweepPlan::run_resilient`].
+#[derive(Debug, Default)]
+pub struct ResilienceOptions {
+    /// Per-attempt wall-clock deadline for one point. `None` disables
+    /// the watchdog.
+    pub deadline: Option<Duration>,
+    /// Retries after a panicked or timed-out attempt (0 = one attempt).
+    pub max_retries: u32,
+    /// Base unit of the exponential retry backoff.
+    pub backoff_base: Option<Duration>,
+    /// Seed for the deterministic backoff schedule.
+    pub backoff_seed: u64,
+    /// Checkpoint store: every completed point is persisted here.
+    pub store: Option<PointStore>,
+    /// Serve previously checkpointed points from `store` instead of
+    /// re-running them.
+    pub resume: bool,
+    /// Experiment id for checkpoint keys; defaults to the plan id.
+    pub experiment: Option<String>,
+}
+
+/// What a resilient sweep did, beyond the report itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Total sweep points in the plan.
+    pub points: usize,
+    /// Points served from the checkpoint store without re-running.
+    pub resumed: usize,
+    /// Extra attempts across all points (attempts beyond the first).
+    pub retries: u64,
+    /// Points whose final attempt panicked.
+    pub panics: u64,
+    /// Points whose final attempt overran the deadline.
+    pub timeouts: u64,
+    /// Points that produced no usable output (all failure kinds).
+    pub failed: usize,
+    /// Checkpoint writes that failed (the sweep continues; the point
+    /// just is not resumable).
+    pub checkpoint_errors: u64,
+}
+
+/// The result of [`SweepPlan::run_resilient`]: the (possibly degraded)
+/// report, the typed failures in sweep-index order, and run statistics.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The collated report. With failures, it carries one diagnostic
+    /// row and one note per failed point.
+    pub report: Report,
+    /// Typed per-point failures, ordered by sweep index.
+    pub failures: Vec<PointError>,
+    /// Execution statistics (resumed/retried/failed counts).
+    pub stats: SweepStats,
+}
+
+impl SweepOutcome {
+    /// The canonical lowest-indexed failure, if any point failed.
+    pub fn first_failure(&self) -> Option<&PointError> {
+        self.failures.first()
+    }
+
+    /// Whether every point produced a usable output.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
 
 /// An experiment decomposed into independent, index-keyed jobs plus a
 /// deterministic reduction.
@@ -106,14 +301,14 @@ impl SweepPlan {
     /// Append one sweep point. Index order is the collation order.
     pub fn point(
         &mut self,
-        f: impl FnOnce() -> Result<PointOutput, SimError> + Send + 'static,
+        f: impl Fn() -> Result<PointOutput, SimError> + Send + Sync + 'static,
     ) -> &mut Self {
         self.points.push(Box::new(f));
         self
     }
 
     /// Append an infallible sweep point.
-    pub fn point_ok(&mut self, f: impl FnOnce() -> PointOutput + Send + 'static) -> &mut Self {
+    pub fn point_ok(&mut self, f: impl Fn() -> PointOutput + Send + Sync + 'static) -> &mut Self {
         self.point(move || Ok(f()))
     }
 
@@ -139,57 +334,329 @@ impl SweepPlan {
         self.points.is_empty()
     }
 
+    /// A 64-bit fingerprint of the plan's *shape* — id, title, headers,
+    /// and point count — folded into every checkpoint key. Point
+    /// closures are opaque, but every experiment derives its machine
+    /// config, program, fault plan, and seed deterministically from its
+    /// id, so a shape change is exactly when old checkpoint entries
+    /// must stop resolving.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv128::new();
+        h.update(b"columbia-sweep-plan\0");
+        h.update(self.id.as_bytes());
+        h.update(b"\0");
+        h.update(self.title.as_bytes());
+        h.update(b"\0");
+        for header in &self.headers {
+            h.update(header.as_bytes());
+            h.update(b"\0");
+        }
+        h.update(&(self.points.len() as u64).to_le_bytes());
+        h.finish() as u64
+    }
+
     /// Execute every point on `pool` and collate in canonical order.
     ///
     /// Each point runs under a [`sink::with_point`] attribution, so
     /// trace bundles deposited by worker threads drain in sweep order,
     /// not completion order. With a 1-thread pool this is exactly the
     /// serial path: points run in index order on the calling thread.
+    ///
+    /// On failure the error of the **lowest-indexed** failing point is
+    /// returned: every point at or below that index runs to
+    /// completion (so the minimum is exact), while points above it may
+    /// be cancelled before starting — all in-flight workers are still
+    /// joined before this returns. A panicking point completes the
+    /// same settlement and is then re-raised on the calling thread.
     pub fn run(self, pool: &ThreadPool) -> Result<Report, SimError> {
         let epoch = sink::next_epoch();
-        let jobs: Vec<_> = self
+        let jobs: Vec<SweepPoint> = self
             .points
             .into_iter()
             .enumerate()
-            .map(|(idx, f)| move || sink::with_point(epoch, idx, f))
+            .map(|(idx, f)| Box::new(move || sink::with_point(epoch, idx, &f)) as SweepPoint)
             .collect();
-        let results = pool.run(jobs);
-        // Canonical error: the lowest-indexed failure (results are
-        // index-ordered, so the first error found is it).
-        let mut outputs = Vec::with_capacity(results.len());
-        for r in results {
-            outputs.push(r?);
-        }
-        let mut report = Report::new(
-            &self.id,
-            &self.title,
-            &self.headers.iter().map(String::as_str).collect::<Vec<_>>(),
-        );
-        match self.collate {
-            Some(collate) => collate(&mut report, outputs),
-            None => {
-                for o in &outputs {
-                    for row in &o.rows {
-                        report.push_row(row.clone());
-                    }
-                }
-                for o in outputs {
-                    for note in o.notes {
-                        report.note(note);
-                    }
+        let opts = RunOptions {
+            fail_fast: true,
+            ..RunOptions::default()
+        };
+        let statuses =
+            pool.run_governed(jobs, &opts, |r: &Result<PointOutput, SimError>| r.is_err());
+        let mut outputs = Vec::with_capacity(statuses.len());
+        for (idx, status) in statuses.into_iter().enumerate() {
+            match status {
+                JobStatus::Done(outcome) => match outcome.result {
+                    Ok(Ok(output)) => outputs.push(output),
+                    // Canonical error: scanning in index order, the
+                    // first failure *is* the lowest-indexed one.
+                    Ok(Err(sim)) => return Err(sim),
+                    Err(failure) => panic!("sweep point {idx} {failure}"),
+                },
+                // Fail-fast only skips indices above the lowest
+                // failure, and scanning returns at that failure first —
+                // reaching here means the pool broke an invariant.
+                JobStatus::Skipped | JobStatus::Lost => {
+                    panic!("sweep point {idx} was never settled")
                 }
             }
         }
-        for note in self.notes {
-            report.note(note);
-        }
-        Ok(report)
+        Ok(build_report(
+            &self.id,
+            &self.title,
+            &self.headers,
+            self.collate,
+            self.notes,
+            outputs,
+        ))
     }
 
     /// [`SweepPlan::run`] on a fresh pool of `jobs` threads.
     pub fn run_with_jobs(self, jobs: usize) -> Result<Report, SimError> {
         self.run(&ThreadPool::new(jobs))
     }
+
+    /// Execute every point under the resilience policy in `opts` and
+    /// collate whatever survives — the campaign-grade path behind
+    /// `repro --resume/--point-deadline/--max-retries`.
+    ///
+    /// Unlike [`SweepPlan::run`] this never fails and never panics on
+    /// a point failure: every point is attempted (with deadline, retry,
+    /// and checkpoint semantics per `opts`), failed points degrade to
+    /// one diagnostic row plus one note each, and the typed failures
+    /// come back in [`SweepOutcome::failures`], ordered by sweep index.
+    /// When every point succeeds the report is byte-identical to the
+    /// strict path's.
+    pub fn run_resilient(self, pool: &ThreadPool, opts: ResilienceOptions) -> SweepOutcome {
+        let n = self.points.len();
+        let experiment = opts.experiment.unwrap_or_else(|| self.id.clone());
+        let fingerprint = self.fingerprint();
+        let store = opts.store.map(Arc::new);
+        let checkpoint_errors = Arc::new(AtomicU64::new(0));
+        let mut resumed = 0usize;
+
+        let epoch = sink::next_epoch();
+        let jobs: Vec<SweepPoint> = self
+            .points
+            .into_iter()
+            .enumerate()
+            .map(|(idx, f)| {
+                let key = PointKey {
+                    experiment: experiment.clone(),
+                    fingerprint,
+                    index: idx,
+                };
+                if opts.resume {
+                    if let Some(cached) = store.as_ref().and_then(|s| s.load(&key)) {
+                        // Serve the checkpoint; the point never runs.
+                        resumed += 1;
+                        return Box::new(move || Ok(cached.clone())) as SweepPoint;
+                    }
+                }
+                let store = store.clone();
+                let checkpoint_errors = Arc::clone(&checkpoint_errors);
+                Box::new(move || {
+                    let out = sink::with_point(epoch, idx, &f);
+                    // Checkpoint from the worker, so a kill between
+                    // points loses at most the in-flight ones. A failed
+                    // write only costs resumability, never the sweep.
+                    if let (Ok(output), Some(store)) = (&out, &store) {
+                        if store.save(&key, output).is_err() {
+                            checkpoint_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    out
+                }) as SweepPoint
+            })
+            .collect();
+
+        let run_opts = RunOptions {
+            deadline: opts.deadline,
+            max_retries: opts.max_retries,
+            backoff_seed: opts.backoff_seed,
+            backoff_base: opts
+                .backoff_base
+                .unwrap_or(RunOptions::default().backoff_base),
+            fail_fast: false,
+        };
+        let statuses = pool.run_governed(jobs, &run_opts, |r: &Result<PointOutput, SimError>| {
+            r.is_err()
+        });
+
+        let mut stats = SweepStats {
+            points: n,
+            resumed,
+            ..SweepStats::default()
+        };
+        let mut outputs = Vec::with_capacity(n);
+        let mut failures = Vec::new();
+        let mut latencies = Vec::with_capacity(n);
+        for (idx, status) in statuses.into_iter().enumerate() {
+            match status {
+                JobStatus::Done(outcome) => {
+                    stats.retries += u64::from(outcome.attempts.saturating_sub(1));
+                    latencies.push(outcome.elapsed);
+                    match outcome.result {
+                        Ok(Ok(output)) => outputs.push(output),
+                        Ok(Err(error)) => {
+                            failures.push(PointError::Sim { point: idx, error });
+                            outputs.push(PointOutput::default());
+                        }
+                        Err(JobFailure::Panicked { message }) => {
+                            stats.panics += 1;
+                            failures.push(PointError::Panicked {
+                                point: idx,
+                                attempts: outcome.attempts,
+                                message,
+                            });
+                            outputs.push(PointOutput::default());
+                        }
+                        Err(JobFailure::DeadlineExceeded { deadline }) => {
+                            stats.timeouts += 1;
+                            failures.push(PointError::DeadlineExceeded {
+                                point: idx,
+                                attempts: outcome.attempts,
+                                deadline,
+                            });
+                            outputs.push(PointOutput::default());
+                        }
+                    }
+                }
+                JobStatus::Skipped | JobStatus::Lost => {
+                    failures.push(PointError::Lost { point: idx });
+                    outputs.push(PointOutput::default());
+                }
+            }
+        }
+        stats.failed = failures.len();
+        stats.checkpoint_errors = checkpoint_errors.load(Ordering::Relaxed);
+
+        let mut report = if failures.is_empty() {
+            // The all-success path is the strict path: byte-identical.
+            build_report(
+                &self.id,
+                &self.title,
+                &self.headers,
+                self.collate,
+                self.notes,
+                outputs,
+            )
+        } else {
+            // A custom collator may assume well-formed outputs (e.g.
+            // divide by a point's collation scalar); failed points hand
+            // it empty placeholders, so collation itself is isolated.
+            let (id, title, headers) = (self.id, self.title, self.headers);
+            let plan_notes = self.notes;
+            let collate = self.collate;
+            match catch_unwind(AssertUnwindSafe(|| {
+                build_report(&id, &title, &headers, collate, plan_notes.clone(), outputs)
+            })) {
+                Ok(report) => report,
+                Err(payload) => {
+                    let mut report = Report::new(
+                        &id,
+                        &title,
+                        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+                    );
+                    report.note(format!(
+                        "collation degraded: collator panicked over failed points ({})",
+                        panic_message(payload)
+                    ));
+                    for note in plan_notes {
+                        report.note(note);
+                    }
+                    report
+                }
+            }
+        };
+
+        // Diagnostic rows: one per failed point, at exact header arity
+        // so the renderer never flags them as malformed.
+        for failure in &failures {
+            let width = report.headers.len().max(1);
+            let mut row = vec![String::new(); width];
+            if width > 1 {
+                row[0] = format!("[point {}]", failure.point());
+                row[1] = failure.describe();
+            } else {
+                row[0] = format!("[point {}] {}", failure.point(), failure.describe());
+            }
+            report.push_row(row);
+            report.note(format!(
+                "point {} failed: {}",
+                failure.point(),
+                failure.describe()
+            ));
+        }
+
+        if sink::is_active() {
+            let mut metrics = Metrics::new();
+            metrics.inc("sweep.points", stats.points as u64);
+            metrics.inc("sweep.resumed", stats.resumed as u64);
+            metrics.inc("sweep.retries", stats.retries);
+            metrics.inc("sweep.panics", stats.panics);
+            metrics.inc("sweep.timeouts", stats.timeouts);
+            metrics.inc("sweep.failed", stats.failed as u64);
+            metrics.inc("sweep.checkpoint_errors", stats.checkpoint_errors);
+            for elapsed in &latencies {
+                metrics.observe("sweep.point_seconds", elapsed.as_secs_f64());
+            }
+            // Recorded outside any point attribution, so it drains
+            // after the sweep's per-point bundles.
+            sink::record(TraceBundle {
+                label: format!("sweep resilience: {}", report.id),
+                metrics,
+                ..TraceBundle::default()
+            });
+        }
+
+        SweepOutcome {
+            report,
+            failures,
+            stats,
+        }
+    }
+
+    /// [`SweepPlan::run_resilient`] on a fresh pool of `jobs` threads.
+    pub fn run_resilient_with_jobs(self, jobs: usize, opts: ResilienceOptions) -> SweepOutcome {
+        self.run_resilient(&ThreadPool::new(jobs), opts)
+    }
+}
+
+/// The shared collation tail: report skeleton, default or custom body,
+/// then plan notes. Both executors end here, which is what makes a
+/// clean resilient run byte-identical to the strict path.
+fn build_report(
+    id: &str,
+    title: &str,
+    headers: &[String],
+    collate: Option<Collate>,
+    plan_notes: Vec<String>,
+    outputs: Vec<PointOutput>,
+) -> Report {
+    let mut report = Report::new(
+        id,
+        title,
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    match collate {
+        Some(collate) => collate(&mut report, outputs),
+        None => {
+            for o in &outputs {
+                for row in &o.rows {
+                    report.push_row(row.clone());
+                }
+            }
+            for o in outputs {
+                for note in o.notes {
+                    report.note(note);
+                }
+            }
+        }
+    }
+    for note in plan_notes {
+        report.note(note);
+    }
+    report
 }
 
 impl std::fmt::Debug for SweepPlan {
@@ -205,6 +672,8 @@ impl std::fmt::Debug for SweepPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::PointStore;
+    use std::sync::atomic::AtomicU32;
 
     fn demo_plan() -> SweepPlan {
         let mut plan = SweepPlan::new("T", "demo", &["i", "sq"]);
@@ -215,6 +684,15 @@ mod tests {
         }
         plan.note("plan note");
         plan
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "columbia-sweep-test-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
     }
 
     #[test]
@@ -298,5 +776,215 @@ mod tests {
         plan.note("plan-level");
         let r = plan.run_with_jobs(2).unwrap();
         assert_eq!(r.notes, vec!["from point 0", "from point 1", "plan-level"]);
+    }
+
+    // ---- resilient execution ----
+
+    #[test]
+    fn clean_resilient_run_is_byte_identical_to_strict() {
+        let strict = demo_plan().run_with_jobs(3).unwrap();
+        for jobs in [1, 4] {
+            let out = demo_plan().run_resilient_with_jobs(jobs, ResilienceOptions::default());
+            assert!(out.is_clean());
+            assert_eq!(strict.to_text(), out.report.to_text(), "jobs={jobs}");
+            assert_eq!(out.stats.points, 10);
+            assert_eq!(out.stats.failed, 0);
+        }
+    }
+
+    #[test]
+    fn panicking_point_degrades_to_a_diagnostic_row() {
+        let mut plan = SweepPlan::new("T", "panicky", &["i", "v"]);
+        plan.point_ok(|| PointOutput::row(vec!["0".into(), "ok".into()]));
+        plan.point_ok(|| panic!("boom at point 1"));
+        plan.point_ok(|| PointOutput::row(vec!["2".into(), "ok".into()]));
+        let out = plan.run_resilient_with_jobs(2, ResilienceOptions::default());
+        assert_eq!(out.stats.failed, 1);
+        assert_eq!(out.stats.panics, 1);
+        let failure = out.first_failure().unwrap();
+        assert_eq!(failure.point(), 1);
+        assert!(matches!(failure, PointError::Panicked { .. }));
+        // Successful rows survive; the failed point is a diagnostic row.
+        let text = out.report.to_text();
+        assert!(text.contains("ok"), "{text}");
+        assert!(text.contains("[point 1]"), "{text}");
+        assert!(text.contains("boom at point 1"), "{text}");
+        assert!(!out.report.notes.iter().any(|n| n.contains("malformed")));
+    }
+
+    #[test]
+    fn sim_error_degrades_instead_of_aborting() {
+        let mut plan = SweepPlan::new("T", "simerr", &["x"]);
+        plan.point_ok(|| PointOutput::row(vec!["fine".into()]));
+        plan.point(|| {
+            Err(SimError::WatchdogTimeout {
+                events: 9,
+                budget: 3,
+            })
+        });
+        let out = plan.run_resilient_with_jobs(1, ResilienceOptions::default());
+        assert_eq!(out.stats.failed, 1);
+        assert!(matches!(
+            out.first_failure(),
+            Some(PointError::Sim { point: 1, .. })
+        ));
+        assert!(out.report.to_text().contains("[point 1]"));
+    }
+
+    #[test]
+    fn retries_rescue_a_transient_panic() {
+        // Panics on the first two attempts, succeeds on the third.
+        let hits = Arc::new(AtomicU32::new(0));
+        let mut plan = SweepPlan::new("T", "flaky", &["x"]);
+        let h = Arc::clone(&hits);
+        plan.point_ok(move || {
+            if h.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            PointOutput::row(vec!["recovered".into()])
+        });
+        let opts = ResilienceOptions {
+            max_retries: 3,
+            backoff_base: Some(Duration::from_millis(1)),
+            ..ResilienceOptions::default()
+        };
+        let out = plan.run_resilient_with_jobs(1, opts);
+        assert!(out.is_clean(), "{:?}", out.failures);
+        assert_eq!(out.stats.retries, 2);
+        assert!(out.report.to_text().contains("recovered"));
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let hits = Arc::new(AtomicU32::new(0));
+        let mut plan = SweepPlan::new("T", "hopeless", &["x"]);
+        let h = Arc::clone(&hits);
+        plan.point_ok(move || -> PointOutput {
+            h.fetch_add(1, Ordering::SeqCst);
+            panic!("always")
+        });
+        let opts = ResilienceOptions {
+            max_retries: 2,
+            backoff_base: Some(Duration::from_millis(1)),
+            ..ResilienceOptions::default()
+        };
+        let out = plan.run_resilient_with_jobs(1, opts);
+        assert_eq!(hits.load(Ordering::SeqCst), 3, "1 attempt + 2 retries");
+        assert_eq!(out.stats.retries, 2);
+        assert!(matches!(
+            out.first_failure(),
+            Some(PointError::Panicked { attempts: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn deadline_abandons_a_hung_point() {
+        let mut plan = SweepPlan::new("T", "hung", &["x"]);
+        plan.point_ok(|| PointOutput::row(vec!["quick".into()]));
+        plan.point_ok(|| {
+            std::thread::sleep(Duration::from_secs(30));
+            PointOutput::row(vec!["never".into()])
+        });
+        let opts = ResilienceOptions {
+            deadline: Some(Duration::from_millis(50)),
+            ..ResilienceOptions::default()
+        };
+        let start = std::time::Instant::now();
+        let out = plan.run_resilient_with_jobs(2, opts);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "watchdog must not wait out the hang"
+        );
+        assert_eq!(out.stats.timeouts, 1);
+        assert!(matches!(
+            out.first_failure(),
+            Some(PointError::DeadlineExceeded { point: 1, .. })
+        ));
+        assert!(out.report.to_text().contains("quick"));
+    }
+
+    #[test]
+    fn failed_custom_collation_degrades_to_notes_not_a_crash() {
+        // The collator indexes into every point's values — a failed
+        // point's empty placeholder would panic it.
+        let mut plan = SweepPlan::new("T", "fragile", &["i", "rel"]);
+        plan.point_ok(|| PointOutput::row(vec!["0".into(), "x".into()]).with_value(2.0));
+        plan.point_ok(|| panic!("no value from me"));
+        plan.collate_with(|report, outputs| {
+            for o in &outputs {
+                report.push_row(vec!["r".into(), format!("{:.1}", o.values[0])]);
+            }
+        });
+        let out = plan.run_resilient_with_jobs(1, ResilienceOptions::default());
+        assert_eq!(out.stats.failed, 1);
+        let text = out.report.to_text();
+        assert!(text.contains("collation degraded"), "{text}");
+        assert!(text.contains("[point 1]"), "{text}");
+    }
+
+    #[test]
+    fn checkpoint_then_resume_is_byte_identical_and_skips_completed_points() {
+        let runs = Arc::new(AtomicU32::new(0));
+        let mk = |runs: &Arc<AtomicU32>| {
+            let mut plan = SweepPlan::new("T", "ckpt", &["i"]);
+            for i in 0..6u64 {
+                let runs = Arc::clone(runs);
+                plan.point_ok(move || {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    PointOutput::row(vec![i.to_string()]).with_value(i as f64 * 0.1)
+                });
+            }
+            plan
+        };
+        let baseline = mk(&runs).run_with_jobs(1).unwrap();
+
+        let dir = temp_dir("resume");
+        let opts = |resume| ResilienceOptions {
+            store: Some(PointStore::open(dir.clone()).unwrap()),
+            resume,
+            ..ResilienceOptions::default()
+        };
+        runs.store(0, Ordering::SeqCst);
+        let first = mk(&runs).run_resilient_with_jobs(2, opts(false));
+        assert!(first.is_clean());
+        assert_eq!(runs.load(Ordering::SeqCst), 6);
+        assert_eq!(baseline.to_text(), first.report.to_text());
+
+        // Resume with a fully-populated store: nothing re-runs.
+        runs.store(0, Ordering::SeqCst);
+        let resumed = mk(&runs).run_resilient_with_jobs(2, opts(true));
+        assert_eq!(runs.load(Ordering::SeqCst), 0, "all points resumed");
+        assert_eq!(resumed.stats.resumed, 6);
+        assert_eq!(baseline.to_text(), resumed.report.to_text());
+
+        // Truncate the store (simulate a kill mid-sweep): only the
+        // missing points re-run, and the report is still identical.
+        let store = PointStore::open(dir.clone()).unwrap();
+        let victims: Vec<_> = std::fs::read_dir(store.dir())
+            .unwrap()
+            .flatten()
+            .take(3)
+            .map(|e| e.path())
+            .collect();
+        for v in &victims {
+            std::fs::remove_file(v).unwrap();
+        }
+        runs.store(0, Ordering::SeqCst);
+        let partial = mk(&runs).run_resilient_with_jobs(2, opts(true));
+        assert_eq!(runs.load(Ordering::SeqCst), 3, "only missing points run");
+        assert_eq!(partial.stats.resumed, 3);
+        assert_eq!(baseline.to_text(), partial.report.to_text());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_plan_shape() {
+        let base = demo_plan().fingerprint();
+        assert_eq!(base, demo_plan().fingerprint(), "stable across builds");
+        let mut other = demo_plan();
+        other.point_ok(PointOutput::default);
+        assert_ne!(base, other.fingerprint(), "point count matters");
+        let renamed = SweepPlan::new("T2", "demo", &["i", "sq"]);
+        assert_ne!(base, renamed.fingerprint(), "id matters");
     }
 }

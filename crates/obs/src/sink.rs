@@ -21,6 +21,15 @@
 //! the `sim N` labels are bit-identical regardless of scheduling.
 //! Bundles recorded outside any sweep point keep arrival order,
 //! slotted after the points of the most recently started sweep.
+//!
+//! The resilient sweep executor (`core::sweep::run_resilient`) uses
+//! that out-of-point slot deliberately: after a sweep settles it
+//! deposits one summary bundle (labelled `sweep resilience: <id>`)
+//! carrying `sweep.*` counters — points, resumed, retries, panics,
+//! timeouts, failures, checkpoint write errors — and a
+//! `sweep.point_seconds` latency histogram, so `repro --metrics`
+//! exports the campaign's resilience telemetry alongside the per-
+//! simulation fabric counters, draining after that sweep's points.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

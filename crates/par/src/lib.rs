@@ -1,5 +1,7 @@
 //! `columbia-par` — a std-only work-stealing thread pool for
-//! embarrassingly-parallel sweep execution.
+//! embarrassingly-parallel sweep execution, with an execution-
+//! resilience layer (panic isolation, per-job deadlines, bounded
+//! retry) layered on top.
 //!
 //! Every figure in the paper is a sweep: independent simulation points
 //! (CPU counts, fabrics, fault ladders) whose results are reduced in a
@@ -18,9 +20,37 @@
 //! it. There are no dependencies beyond `std` — the deques are
 //! mutex-guarded, which is plenty for sweep points that each run a
 //! whole discrete-event simulation (milliseconds to seconds per job).
+//!
+//! # Resilience
+//!
+//! Long characterization campaigns die ugly: one panicking point used
+//! to poison the whole pool, and one hung point used to block the sweep
+//! forever. The pool therefore never lets a job failure escape as a
+//! pool failure:
+//!
+//! * every job runs under [`catch_unwind`] — a panic becomes a typed
+//!   [`JobFailure::Panicked`] in that job's result slot while the
+//!   worker moves on to the next job;
+//! * [`ThreadPool::run_governed`] adds per-job wall-clock deadlines
+//!   (a straggler becomes [`JobFailure::DeadlineExceeded`] and is
+//!   abandoned), bounded retry with seeded deterministic backoff, and
+//!   an optional fail-fast mode that stops *starting* jobs above the
+//!   lowest failed index while still joining every in-flight worker;
+//! * lock poisoning and channel teardown are absorbed into typed
+//!   results ([`JobStatus::Lost`], [`JobFailure::Panicked`]) instead of
+//!   aborting the pool.
+//!
+//! Abandoned attempts (deadline overruns) keep running on their own
+//! detached thread, but they only ever write into a channel whose
+//! receiving half the pool has already dropped — a send to a closed
+//! channel is a no-op — so a straggler can never scribble on a result
+//! slot the pool has moved past.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Number of worker threads the platform comfortably supports; the
 /// default for `repro --jobs`.
@@ -28,6 +58,164 @@ pub fn available_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Why one job produced no value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobFailure {
+    /// The job panicked on its final attempt; the payload is the
+    /// panic message (or a placeholder for non-string payloads).
+    Panicked {
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// The job's final attempt overran its wall-clock deadline and was
+    /// abandoned by the watchdog.
+    DeadlineExceeded {
+        /// The configured per-attempt deadline.
+        deadline: Duration,
+    },
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Panicked { message } => write!(f, "panicked: {message}"),
+            JobFailure::DeadlineExceeded { deadline } => {
+                write!(f, "exceeded its {:.3}s deadline", deadline.as_secs_f64())
+            }
+        }
+    }
+}
+
+/// What one governed job produced, and what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome<T> {
+    /// The job's value, or its typed failure after every attempt was
+    /// exhausted.
+    pub result: Result<T, JobFailure>,
+    /// Attempts made (1 = first try succeeded; retries = attempts - 1).
+    pub attempts: u32,
+    /// Wall clock from first attempt start to settlement (includes
+    /// backoff sleeps between retries).
+    pub elapsed: Duration,
+}
+
+/// Per-job status of a governed run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus<T> {
+    /// The job ran (possibly after retries) and settled.
+    Done(JobOutcome<T>),
+    /// Fail-fast mode cancelled the job before it started: a
+    /// lower-indexed job had already failed.
+    Skipped,
+    /// The job's result slot was never filled — a pool invariant was
+    /// violated (worker lost). Surfaced as data instead of a panic so
+    /// one broken slot cannot abort a campaign.
+    Lost,
+}
+
+impl<T> JobStatus<T> {
+    /// The settled outcome, if the job ran.
+    pub fn outcome(&self) -> Option<&JobOutcome<T>> {
+        match self {
+            JobStatus::Done(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// Knobs for [`ThreadPool::run_governed`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Per-attempt wall-clock deadline. `None` disables the watchdog
+    /// (attempts run inline on the worker; nothing is ever abandoned).
+    pub deadline: Option<Duration>,
+    /// Retries after a panicked or timed-out attempt (0 = one attempt).
+    pub max_retries: u32,
+    /// Seed for the deterministic retry backoff schedule.
+    pub backoff_seed: u64,
+    /// Base unit of the exponential backoff (attempt `k` sleeps
+    /// `base * 2^k`, jittered deterministically from the seed).
+    pub backoff_base: Duration,
+    /// When true, a failed job (panic, deadline, or a value the
+    /// caller's `is_failure` predicate rejects) stops *later*-indexed
+    /// jobs from starting; already-running jobs are joined normally.
+    pub fail_fast: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            deadline: None,
+            max_retries: 0,
+            backoff_seed: 0,
+            backoff_base: Duration::from_millis(10),
+            fail_fast: false,
+        }
+    }
+}
+
+/// The deterministic backoff before retry `attempt` (0-based) of job
+/// `index`: exponential in the attempt, jittered to 50–150% by a
+/// splitmix64 stream of `(seed, index, attempt)`. Same inputs, same
+/// schedule — a resumed campaign retries on the same cadence.
+pub fn backoff_delay(seed: u64, index: usize, attempt: u32, base: Duration) -> Duration {
+    let mut z = seed
+        .wrapping_add((index as u64).wrapping_mul(0x9e3779b97f4a7c15))
+        .wrapping_add((attempt as u64 + 1).wrapping_mul(0xbf58476d1ce4e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    // Jitter in [0.5, 1.5): half the lattice plus a uniform fraction.
+    let jitter = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64;
+    let scale = (1u32 << attempt.min(16)) as f64;
+    base.mul_f64(scale * jitter)
+}
+
+/// Render a caught panic payload as a message.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Deal job indices round-robin across `workers` deques so every
+/// worker starts with a local run of jobs; stealing rebalances
+/// stragglers.
+fn deal(n: usize, workers: usize) -> Vec<Mutex<VecDeque<usize>>> {
+    (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect()
+}
+
+/// Claim the next job index for worker `w`: own deque first (LIFO
+/// tail), then steal from siblings (FIFO head) — classic work stealing.
+/// `None` means every deque is drained and the remaining work is
+/// claimed: this worker is done.
+fn next_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    let own = queues[w]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .pop_back();
+    if own.is_some() {
+        return own;
+    }
+    for v in 1..queues.len() {
+        let victim = (w + v) % queues.len();
+        let stolen = queues[victim]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front();
+        if stolen.is_some() {
+            return stolen;
+        }
+    }
+    None
 }
 
 /// A fixed-size pool description. Threads are spawned per [`ThreadPool::run`] call
@@ -57,67 +245,55 @@ impl ThreadPool {
         self.threads
     }
 
-    /// Run every job and return the results **in job index order**,
-    /// regardless of which worker finished which job when.
+    /// Run every job and return each result **in job index order**,
+    /// isolating panics: a panicking job yields `Err(JobFailure)` in
+    /// its own slot while every other job still runs to completion —
+    /// the pool is never poisoned.
     ///
     /// With one worker (or one job) no threads are spawned and the jobs
     /// run in index order on the caller's thread — the serial path that
     /// parallel runs must be bit-identical to.
-    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    pub fn run_caught<T, F>(&self, jobs: Vec<F>) -> Vec<Result<T, JobFailure>>
     where
         T: Send,
         F: FnOnce() -> T + Send,
     {
         let n = jobs.len();
+        let attempt = |f: F| {
+            catch_unwind(AssertUnwindSafe(f)).map_err(|p| JobFailure::Panicked {
+                message: panic_message(p),
+            })
+        };
         if self.threads == 1 || n <= 1 {
-            return jobs.into_iter().map(|f| f()).collect();
+            return jobs.into_iter().map(attempt).collect();
         }
         let workers = self.threads.min(n);
         // Job slots: taken exactly once, by whichever worker claims the
         // index. Result slots are written exactly once at that index.
         let job_slots: Vec<Mutex<Option<F>>> =
             jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
-        let result_slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        // Deal indices round-robin so every worker starts with a local
-        // run of jobs; stealing rebalances stragglers.
-        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| Mutex::new((w..n).step_by(workers).collect()))
-            .collect();
+        let result_slots: Vec<Mutex<Option<Result<T, JobFailure>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let queues = deal(n, workers);
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let queues = &queues;
                 let job_slots = &job_slots;
                 let result_slots = &result_slots;
                 scope.spawn(move || {
-                    loop {
-                        // Own deque first (LIFO tail), then steal from
-                        // siblings (FIFO head) — classic work stealing.
-                        let mut job = queues[w]
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .pop_back();
-                        if job.is_none() {
-                            for v in 1..workers {
-                                let victim = (w + v) % workers;
-                                job = queues[victim]
-                                    .lock()
-                                    .unwrap_or_else(|e| e.into_inner())
-                                    .pop_front();
-                                if job.is_some() {
-                                    break;
-                                }
-                            }
-                        }
-                        // Jobs only ever move from the deques into
-                        // execution, so once every deque is empty the
-                        // remaining work is claimed — this worker is done.
-                        let Some(idx) = job else { return };
-                        let f = job_slots[idx]
+                    while let Some(idx) = next_job(queues, w) {
+                        // A job index is dealt to exactly one deque, so
+                        // the take can only miss if that invariant broke;
+                        // the empty slot is then reported as `Lost` by
+                        // the collation below instead of aborting here.
+                        let Some(f) = job_slots[idx]
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())
                             .take()
-                            .expect("a job index is dealt to exactly one deque");
-                        let out = f();
+                        else {
+                            continue;
+                        };
+                        let out = attempt(f);
                         *result_slots[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                     }
                 });
@@ -128,9 +304,32 @@ impl ThreadPool {
             .map(|slot| {
                 slot.into_inner()
                     .unwrap_or_else(|e| e.into_inner())
-                    .expect("every job slot is claimed and completed exactly once")
+                    .unwrap_or(Err(JobFailure::Panicked {
+                        message: "result slot never filled (worker lost)".to_string(),
+                    }))
             })
             .collect()
+    }
+
+    /// Run every job and return the results **in job index order**,
+    /// regardless of which worker finished which job when.
+    ///
+    /// Built on [`ThreadPool::run_caught`], so a panicking job no
+    /// longer poisons the pool: every other job completes first, then
+    /// the lowest-indexed panic is re-raised on the calling thread.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let mut out = Vec::new();
+        for (idx, r) in self.run_caught(jobs).into_iter().enumerate() {
+            match r {
+                Ok(t) => out.push(t),
+                Err(failure) => panic!("pool job {idx} {failure}"),
+            }
+        }
+        out
     }
 
     /// Map `f` over `items`, collating results in item order.
@@ -148,12 +347,178 @@ impl ThreadPool {
                 .collect::<Vec<_>>(),
         )
     }
+
+    /// Run every job under the resilience policy in `opts`: panics are
+    /// isolated per attempt, attempts may be bounded by a wall-clock
+    /// deadline, failed attempts are retried up to `max_retries` times
+    /// on a seeded deterministic backoff, and — when `fail_fast` is set
+    /// — a failure (including a value `is_failure` rejects) stops
+    /// later-indexed jobs from *starting*, while every in-flight worker
+    /// is still joined before this returns.
+    ///
+    /// Statuses come back in job index order. Jobs must be `Fn` (not
+    /// `FnOnce`) so they can be re-invoked on retry, and `'static` so a
+    /// deadline overrun can be abandoned to a detached watchdog thread
+    /// without borrowing from the pool's stack frame.
+    pub fn run_governed<T, F>(
+        &self,
+        jobs: Vec<F>,
+        opts: &RunOptions,
+        is_failure: impl Fn(&T) -> bool + Sync,
+    ) -> Vec<JobStatus<T>>
+    where
+        T: Send + 'static,
+        F: Fn() -> T + Send + Sync + 'static,
+    {
+        let n = jobs.len();
+        let jobs: Vec<Arc<F>> = jobs.into_iter().map(Arc::new).collect();
+        // Lowest failed index so far; fail-fast skips indices above it.
+        let cancel_floor = AtomicUsize::new(usize::MAX);
+        let claim = |idx: usize| {
+            if opts.fail_fast && idx > cancel_floor.load(Ordering::Acquire) {
+                return JobStatus::Skipped;
+            }
+            let outcome = settle_job(&jobs[idx], idx, opts);
+            let failed = match &outcome.result {
+                Ok(t) => is_failure(t),
+                Err(_) => true,
+            };
+            if failed && opts.fail_fast {
+                cancel_floor.fetch_min(idx, Ordering::AcqRel);
+            }
+            JobStatus::Done(outcome)
+        };
+        let workers = if n <= 1 { 1 } else { self.threads.min(n) };
+        if workers == 1 {
+            // The serial path every parallel run must be equivalent to:
+            // jobs settle in index order on the calling thread.
+            return (0..n).map(claim).collect();
+        }
+        let status_slots: Vec<Mutex<Option<JobStatus<T>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let queues = deal(n, workers);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let claim = &claim;
+                let status_slots = &status_slots;
+                scope.spawn(move || {
+                    while let Some(idx) = next_job(queues, w) {
+                        let status = claim(idx);
+                        *status_slots[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(status);
+                    }
+                });
+            }
+        });
+        status_slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .unwrap_or(JobStatus::Lost)
+            })
+            .collect()
+    }
+}
+
+/// Run one governed job to settlement: attempt (inline, or on a
+/// watchdog-supervised thread when a deadline is set), retry on panic
+/// or deadline overrun with deterministic backoff, and report the
+/// final result plus attempt count and wall clock.
+fn settle_job<T, F>(job: &Arc<F>, index: usize, opts: &RunOptions) -> JobOutcome<T>
+where
+    T: Send + 'static,
+    F: Fn() -> T + Send + Sync + 'static,
+{
+    let start = Instant::now();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let result = match opts.deadline {
+            None => catch_unwind(AssertUnwindSafe(|| job())).map_err(|p| JobFailure::Panicked {
+                message: panic_message(p),
+            }),
+            Some(deadline) => attempt_with_deadline(Arc::clone(job), deadline),
+        };
+        match result {
+            Ok(t) => {
+                return JobOutcome {
+                    result: Ok(t),
+                    attempts,
+                    elapsed: start.elapsed(),
+                }
+            }
+            Err(failure) => {
+                if attempts <= opts.max_retries {
+                    std::thread::sleep(backoff_delay(
+                        opts.backoff_seed,
+                        index,
+                        attempts - 1,
+                        opts.backoff_base,
+                    ));
+                    continue;
+                }
+                return JobOutcome {
+                    result: Err(failure),
+                    attempts,
+                    elapsed: start.elapsed(),
+                };
+            }
+        }
+    }
+}
+
+/// One attempt under a wall-clock deadline: the job runs on its own
+/// thread and reports through a channel; the worker waits at most
+/// `deadline`. On overrun the thread is abandoned (detached) — its
+/// eventual send lands in a closed channel and is dropped, so it can
+/// never write into state the pool still owns.
+fn attempt_with_deadline<T, F>(job: Arc<F>, deadline: Duration) -> Result<T, JobFailure>
+where
+    T: Send + 'static,
+    F: Fn() -> T + Send + Sync + 'static,
+{
+    let (tx, rx) = mpsc::sync_channel::<Result<T, String>>(1);
+    let handle = std::thread::spawn(move || {
+        let out = catch_unwind(AssertUnwindSafe(|| job())).map_err(panic_message);
+        // The receiver may be gone (deadline already fired); a failed
+        // send just drops the late result.
+        let _ = tx.send(out);
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(t)) => {
+            let _ = handle.join();
+            Ok(t)
+        }
+        Ok(Err(message)) => {
+            let _ = handle.join();
+            Err(JobFailure::Panicked { message })
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            // Abandon the straggler: dropping `rx` closes the channel,
+            // dropping `handle` detaches the thread. It owns an Arc
+            // clone of the job and a dead sender — nothing the pool
+            // still reads.
+            drop(rx);
+            drop(handle);
+            Err(JobFailure::DeadlineExceeded { deadline })
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The attempt thread died without sending — only possible
+            // if the runtime tore it down around the catch_unwind.
+            let _ = handle.join();
+            Err(JobFailure::Panicked {
+                message: "attempt thread terminated without reporting".to_string(),
+            })
+        }
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
     use std::time::Duration;
 
     #[test]
@@ -240,5 +605,250 @@ mod tests {
                 .collect::<Vec<_>>(),
         );
         assert!(start.elapsed() < Duration::from_millis(350));
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_poison_the_pool() {
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..16u64)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 5 {
+                        panic!("point {i} exploded");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> u64 + Send>
+            })
+            .collect();
+        let out = pool.run_caught(jobs);
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                let Err(JobFailure::Panicked { message }) = r else {
+                    panic!("job 5 must report its panic, got {r:?}");
+                };
+                assert!(message.contains("point 5 exploded"));
+            } else {
+                assert_eq!(*r, Ok(i as u64), "job {i} must survive job 5's panic");
+            }
+        }
+    }
+
+    #[test]
+    fn run_repropagates_the_lowest_indexed_panic_after_all_jobs() {
+        let ran = AtomicU64::new(0);
+        let pool = ThreadPool::new(3);
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..8u64)
+            .map(|i| {
+                let ran = &ran;
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    if i == 2 || i == 6 {
+                        panic!("boom {i}");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> u64 + Send>
+            })
+            .collect();
+        let err = catch_unwind(AssertUnwindSafe(|| pool.run(jobs))).unwrap_err();
+        let msg = panic_message(err);
+        assert!(msg.contains("pool job 2"), "lowest index wins: {msg}");
+        assert_eq!(ran.load(Ordering::Relaxed), 8, "all jobs still ran");
+    }
+
+    #[test]
+    fn governed_retry_until_success_counts_attempts() {
+        let pool = ThreadPool::new(2);
+        let flaky = Arc::new(AtomicU32::new(0));
+        let flaky2 = Arc::clone(&flaky);
+        let jobs: Vec<Box<dyn Fn() -> u32 + Send + Sync>> = vec![
+            Box::new(|| 7),
+            Box::new(move || {
+                let n = flaky2.fetch_add(1, Ordering::Relaxed);
+                if n < 2 {
+                    panic!("flaky attempt {n}");
+                }
+                42
+            }),
+        ];
+        let opts = RunOptions {
+            max_retries: 3,
+            backoff_base: Duration::from_millis(1),
+            ..RunOptions::default()
+        };
+        let out = pool.run_governed(jobs, &opts, |_| false);
+        let JobStatus::Done(o0) = &out[0] else {
+            panic!("{out:?}")
+        };
+        assert_eq!(o0.result, Ok(7));
+        assert_eq!(o0.attempts, 1);
+        let JobStatus::Done(o1) = &out[1] else {
+            panic!("{out:?}")
+        };
+        assert_eq!(o1.result, Ok(42));
+        assert_eq!(o1.attempts, 3, "two failures then success");
+    }
+
+    #[test]
+    fn governed_retries_are_bounded() {
+        let pool = ThreadPool::new(1);
+        let tries = Arc::new(AtomicU32::new(0));
+        let tries2 = Arc::clone(&tries);
+        let jobs: Vec<Box<dyn Fn() -> u32 + Send + Sync>> = vec![Box::new(move || {
+            tries2.fetch_add(1, Ordering::Relaxed);
+            panic!("always fails");
+        })];
+        let opts = RunOptions {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            ..RunOptions::default()
+        };
+        let out = pool.run_governed(jobs, &opts, |_| false);
+        let JobStatus::Done(o) = &out[0] else {
+            panic!("{out:?}")
+        };
+        assert!(matches!(o.result, Err(JobFailure::Panicked { .. })));
+        assert_eq!(o.attempts, 3, "1 try + 2 retries");
+        assert_eq!(tries.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn deadline_abandons_a_hung_job_and_the_sweep_survives() {
+        let pool = ThreadPool::new(2);
+        let jobs: Vec<Box<dyn Fn() -> u32 + Send + Sync>> = vec![
+            Box::new(|| 1),
+            Box::new(|| {
+                // Hangs far past the deadline; the watchdog abandons it.
+                std::thread::sleep(Duration::from_secs(5));
+                2
+            }),
+            Box::new(|| 3),
+        ];
+        let opts = RunOptions {
+            deadline: Some(Duration::from_millis(50)),
+            ..RunOptions::default()
+        };
+        let start = Instant::now();
+        let out = pool.run_governed(jobs, &opts, |_| false);
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "the hung job must not block the sweep"
+        );
+        assert_eq!(out[0].outcome().unwrap().result, Ok(1));
+        assert_eq!(out[2].outcome().unwrap().result, Ok(3));
+        let JobStatus::Done(o) = &out[1] else {
+            panic!("{out:?}")
+        };
+        assert!(matches!(o.result, Err(JobFailure::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn fail_fast_skips_above_the_lowest_failure_but_settles_every_slot() {
+        let pool = ThreadPool::new(1);
+        // Serial claims run in index order: 0..=3 run, 3 fails, and
+        // everything above the failure is skipped without running.
+        let ran = Arc::new(Mutex::new(Vec::new()));
+        let jobs: Vec<Box<dyn Fn() -> Result<u32, u32> + Send + Sync>> = (0..8u32)
+            .map(|i| {
+                let ran = Arc::clone(&ran);
+                Box::new(move || {
+                    ran.lock().unwrap().push(i);
+                    if i == 3 {
+                        Err(i)
+                    } else {
+                        Ok(i)
+                    }
+                }) as Box<dyn Fn() -> Result<u32, u32> + Send + Sync>
+            })
+            .collect();
+        let opts = RunOptions {
+            fail_fast: true,
+            ..RunOptions::default()
+        };
+        let out = pool.run_governed(jobs, &opts, |r| r.is_err());
+        // Every slot settled: Done or Skipped, never Lost.
+        assert!(out.iter().all(|s| *s != JobStatus::Lost));
+        for i in 0..=3 {
+            assert!(
+                matches!(out[i], JobStatus::Done(_)),
+                "job {i} (at or below the failure) must run: {out:?}"
+            );
+        }
+        for (i, s) in out.iter().enumerate().skip(4) {
+            assert_eq!(*s, JobStatus::Skipped, "job {i} is above the failure");
+        }
+        assert_eq!(*ran.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fail_fast_with_many_workers_joins_in_flight_jobs_and_runs_lower_indices() {
+        let pool = ThreadPool::new(4);
+        let ran = Arc::new(AtomicU32::new(0));
+        let jobs: Vec<Box<dyn Fn() -> Result<u32, u32> + Send + Sync>> = (0..16u32)
+            .map(|i| {
+                let ran = Arc::clone(&ran);
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    // Index 2 fails after a short delay; lower indices
+                    // must still settle as Done whatever the schedule.
+                    if i == 2 {
+                        std::thread::sleep(Duration::from_millis(5));
+                        Err(i)
+                    } else {
+                        std::thread::sleep(Duration::from_millis(1));
+                        Ok(i)
+                    }
+                }) as Box<dyn Fn() -> Result<u32, u32> + Send + Sync>
+            })
+            .collect();
+        let opts = RunOptions {
+            fail_fast: true,
+            ..RunOptions::default()
+        };
+        let out = pool.run_governed(jobs, &opts, |r| r.is_err());
+        // No slot is ever Lost: skipped or settled, and the scope join
+        // means no worker is still writing after this returns.
+        for (i, s) in out.iter().enumerate() {
+            assert_ne!(*s, JobStatus::Lost, "job {i}");
+        }
+        // Everything at or below the lowest failure ran.
+        for (i, s) in out.iter().enumerate().take(3) {
+            assert!(matches!(s, JobStatus::Done(_)), "job {i}: {s:?}");
+        }
+        let JobStatus::Done(o2) = &out[2] else {
+            panic!("{out:?}")
+        };
+        assert_eq!(o2.result, Ok(Err(2)), "job 2 failed with its typed error");
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_grows() {
+        let base = Duration::from_millis(10);
+        let a = backoff_delay(42, 3, 0, base);
+        let b = backoff_delay(42, 3, 0, base);
+        assert_eq!(a, b, "same seed, same delay");
+        assert_ne!(
+            backoff_delay(42, 3, 0, base),
+            backoff_delay(43, 3, 0, base),
+            "seed changes the jitter"
+        );
+        // Exponential growth dominates the jitter band.
+        assert!(backoff_delay(42, 3, 4, base) > backoff_delay(42, 3, 1, base) * 2);
+        // Jitter stays within [0.5, 1.5) of the exponential step.
+        for attempt in 0..6 {
+            let d = backoff_delay(7, 11, attempt, base);
+            let step = base * (1 << attempt);
+            assert!(
+                d >= step / 2 && d < step + step / 2,
+                "attempt {attempt}: {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn governed_zero_jobs_is_fine() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<JobStatus<u32>> =
+            pool.run_governed(Vec::<fn() -> u32>::new(), &RunOptions::default(), |_| false);
+        assert!(out.is_empty());
     }
 }
