@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Copy a bench-manifest directory with every primary metric worsened.
+
+CI's regression-gate smoke test runs this over the freshly produced
+`bench-manifests/` directory and then asserts that `bench-compare`
+exits nonzero on the result — proving the gate actually fires, not
+just that it passes on good data.
+
+The primary metric is pushed hard in the bad direction (x0.25 when
+higher is better, x4 when lower is better) so the injected change
+crosses any sane threshold regardless of where the live measurement
+landed relative to the committed baseline.
+
+Usage:
+    inject_regression.py <src_dir> <dst_dir> [--factor 0.25]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("src_dir", type=pathlib.Path)
+    parser.add_argument("dst_dir", type=pathlib.Path)
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=0.25,
+        help="multiplier applied to higher-is-better primaries "
+        "(its reciprocal is applied to lower-is-better ones)",
+    )
+    args = parser.parse_args()
+
+    manifests = sorted(args.src_dir.glob("BENCH_*.json"))
+    if not manifests:
+        print(f"no BENCH_*.json manifests in {args.src_dir}", file=sys.stderr)
+        return 1
+
+    args.dst_dir.mkdir(parents=True, exist_ok=True)
+    for path in manifests:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        primary = doc["primary"]
+        factor = args.factor if doc["higher_is_better"] else 1.0 / args.factor
+        before = doc["metrics"][primary]
+        doc["metrics"][primary] = before * factor
+        (args.dst_dir / path.name).write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"{path.name}: {primary} {before} -> {doc['metrics'][primary]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 
 use std::time::Instant;
 
+use columbia_bench::BenchRecord;
 use columbia_machine::cluster::{ClusterConfig, CpuId, InterNodeFabric, NodeId};
 use columbia_machine::node::NodeKind;
 use columbia_simnet::engine::simulate_reference_mailbox;
@@ -103,12 +104,11 @@ fn bench_mailbox_fastpath(c: &mut Criterion) {
     let indexed_ns = time_ns(2, 10, || {
         simulate_with_faults(&programs, &cpus, &fabric, &plan).unwrap();
     });
-    println!(
-        "BENCH JSON {{\"bench\":\"mailbox_ring_512\",\"reference_ns_per_iter\":{:.0},\"indexed_ns_per_iter\":{:.0},\"speedup\":{:.3}}}",
-        reference_ns,
-        indexed_ns,
-        reference_ns / indexed_ns,
-    );
+    BenchRecord::new("mailbox_ring_512", "speedup", true)
+        .metric("reference_ns_per_iter", reference_ns, 0)
+        .metric("indexed_ns_per_iter", indexed_ns, 0)
+        .metric("speedup", reference_ns / indexed_ns, 3)
+        .emit();
 
     let mut g = c.benchmark_group("mailbox");
     g.sample_size(10);

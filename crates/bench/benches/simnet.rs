@@ -7,6 +7,7 @@
 
 use std::time::Instant;
 
+use columbia_bench::BenchRecord;
 use columbia_machine::cluster::{ClusterConfig, CpuId, InterNodeFabric};
 use columbia_machine::node::NodeKind;
 use columbia_simnet::fabric::{CachedFabric, ClusterFabric, MptVersion};
@@ -134,12 +135,11 @@ fn bench_engine_scaling(c: &mut Criterion) {
     let cached_ns = time_ns(3, 40, || {
         simulate_on(&set, &cpus, &cached, &plan).unwrap();
     });
-    println!(
-        "BENCH JSON {{\"bench\":\"engine_ring_2048\",\"reference_ns_per_iter\":{:.0},\"cached_ns_per_iter\":{:.0},\"speedup\":{:.3}}}",
-        reference_ns,
-        cached_ns,
-        reference_ns / cached_ns,
-    );
+    BenchRecord::new("engine_ring_2048", "speedup", true)
+        .metric("reference_ns_per_iter", reference_ns, 0)
+        .metric("cached_ns_per_iter", cached_ns, 0)
+        .metric("speedup", reference_ns / cached_ns, 3)
+        .emit();
 
     let mut g = c.benchmark_group("engine_scaling");
     g.sample_size(10);

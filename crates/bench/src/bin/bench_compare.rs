@@ -1,0 +1,102 @@
+//! `bench-compare` — the bench-trajectory regression gate.
+//!
+//! ```text
+//! bench-compare --baseline ci/baseline --current bench-manifests
+//! bench-compare --baseline ci/baseline --current bench-manifests --threshold 0.1
+//! ```
+//!
+//! Loads `columbia-bench-manifest-v1` files from both directories and
+//! compares each baseline bench's primary metric against the latest
+//! current sample (see `columbia_bench::compare` for the exact rules:
+//! direction-aware threshold, missing-bench = failure, unbaselined
+//! benches informational). Exit codes:
+//!
+//! * `0` — every baseline bench within threshold;
+//! * `1` — at least one regression (threshold crossed or bench
+//!   missing);
+//! * `2` — usage or I/O error (unreadable directory, corrupt
+//!   manifest).
+
+use std::path::PathBuf;
+
+use columbia_bench::{compare, load_dir};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-compare --baseline <dir> --current <dir> [--threshold <fraction>]\n\
+         default threshold: 0.2 (a 20% move in the bad direction fails)"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let Some(baseline_dir) = flag_value(&args, "--baseline") else {
+        usage()
+    };
+    let Some(current_dir) = flag_value(&args, "--current") else {
+        usage()
+    };
+    let threshold = match flag_value(&args, "--threshold") {
+        None => 0.2,
+        Some(t) => match t.parse::<f64>() {
+            Ok(v) if v.is_finite() && v >= 0.0 => v,
+            _ => {
+                eprintln!("--threshold must be a non-negative fraction (e.g. 0.2)");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let load = |dir: &str| {
+        load_dir(&PathBuf::from(dir)).unwrap_or_else(|e| {
+            eprintln!("bench-compare: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = load(&baseline_dir);
+    let current = load(&current_dir);
+    if baseline.is_empty() {
+        eprintln!("bench-compare: no manifests in baseline dir {baseline_dir}");
+        std::process::exit(2);
+    }
+
+    let out = compare(&baseline, &current, threshold);
+    for trend in &out.trends {
+        println!("trend  {trend}");
+    }
+    for row in &out.rows {
+        println!("check  {row}");
+    }
+    for bench in &out.unbaselined {
+        println!("note   {bench}: no committed baseline (not gated)");
+    }
+    if out.passed() {
+        println!(
+            "bench-compare: OK ({} bench(es) within {:.0}% of baseline)",
+            out.rows.len(),
+            threshold * 100.0
+        );
+        return;
+    }
+    for r in &out.regressions {
+        eprintln!("REGRESSION {r}");
+    }
+    eprintln!(
+        "bench-compare: FAILED ({} regression(s) at {:.0}% threshold)",
+        out.regressions.len(),
+        threshold * 100.0
+    );
+    std::process::exit(1);
+}

@@ -8,6 +8,7 @@
 //! repro --list                # experiment ids
 //! repro --trace out.json      # capture a Chrome/Perfetto timeline
 //! repro --metrics out.json    # dump fabric counters + CommProfiles
+//! repro --manifest out.json   # write the canonical run manifest
 //! repro --checkpoint-dir d    # persist completed sweep points under d/
 //! repro --resume              # skip points already checkpointed
 //! repro --point-deadline 30   # abandon any point running >30s (wall clock)
@@ -26,6 +27,18 @@
 //! counters, compute/comm/wait attribution) and exported when the run
 //! finishes. Load the trace file at <https://ui.perfetto.dev> — one
 //! process per simulation, one CPU track and one net track per rank.
+//! `--trace` additionally opens a host-telemetry capture
+//! (`columbia_obs::host`), so the export carries one extra process of
+//! **wall-clock** tracks: one lane per pool worker (job spans, steal
+//! instants) plus a checkpoint-store lane (save/load activity) —
+//! real executor occupancy next to the simulated timelines.
+//!
+//! `--manifest` writes the canonical machine-readable record of the
+//! run (`columbia-run-manifest-v1`): experiments with plan
+//! fingerprints and report content hashes, jobs, resilience options,
+//! per-experiment sweep stats, and — under the declared-volatile key —
+//! wall time, git revision, and host executor metrics. Identical runs
+//! produce byte-identical manifests modulo that `volatile` key.
 //!
 //! Any of `--checkpoint-dir`, `--resume`, `--point-deadline`, or
 //! `--max-retries` switches to the **resilient** executor
@@ -37,10 +50,11 @@
 //! stderr only — stdout stays byte-identical to an uninterrupted run,
 //! which is what the CI resume smoke gate diffs against the golden.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use columbia::experiments::{run_resilient, run_with_jobs, Experiment};
-use columbia::obs::{chrome_trace, sink};
+use columbia::experiments::{plan, run_resilient, run_with_jobs, Experiment};
+use columbia::manifest::{self, ManifestBuilder, ResilienceSummary, Volatile};
+use columbia::obs::{chrome_trace_with_host, host, sink};
 use columbia::par;
 use columbia::{PointStore, ResilienceOptions};
 use serde_json::Value;
@@ -66,6 +80,7 @@ fn write_or_die(path: &str, contents: &str) {
 }
 
 fn main() {
+    let run_start = Instant::now();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     if args.iter().any(|a| a == "--list") {
@@ -76,6 +91,7 @@ fn main() {
     }
     let trace_path = flag_value(&args, "--trace");
     let metrics_path = flag_value(&args, "--metrics");
+    let manifest_path = flag_value(&args, "--manifest");
     let jobs = match args.iter().position(|a| a == "--jobs") {
         Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
             Some(j) if j >= 1 => j,
@@ -131,8 +147,28 @@ fn main() {
     if collecting {
         sink::install();
     }
+    // Host (wall-clock) telemetry rides along whenever the run's
+    // execution is being recorded: the trace export gains per-worker
+    // host tracks, the manifest gains executor metrics.
+    if trace_path.is_some() || manifest_path.is_some() {
+        host::enable();
+    }
+    let mut manifest_builder = manifest_path.as_ref().map(|_| {
+        ManifestBuilder::new(
+            "repro",
+            jobs,
+            &ResilienceSummary {
+                enabled: resilient,
+                resume,
+                max_retries: max_retries.unwrap_or(0),
+                deadline: point_deadline,
+                checkpoint_dir: checkpoint_dir.clone(),
+            },
+        )
+    });
     let mut failed_points = 0usize;
     for exp in selected {
+        let mut exp_stats = None;
         let report = if resilient {
             // One store subdirectory per experiment, so different
             // experiments' entries never share a namespace on disk.
@@ -154,6 +190,14 @@ fn main() {
             // Stats are stderr-only: stdout must stay byte-identical
             // to a plain run so resume can be diffed against goldens.
             let s = outcome.stats;
+            exp_stats = Some(s);
+            // Machine-readable first (one stable line), human text
+            // after — scripts grep the prefix, people read the rest.
+            let mut rec = Value::object();
+            rec.set("schema", Value::String("columbia-sweep-stats-v1".into()));
+            rec.set("experiment", Value::String(exp.name().into()));
+            rec.set("stats", s.to_value());
+            eprintln!("SWEEP JSON {}", serde_json::to_string(&rec));
             eprintln!(
                 "{}: {} point(s), {} resumed, {} retried, {} failed",
                 exp.name(),
@@ -173,17 +217,30 @@ fn main() {
         } else {
             run_with_jobs(exp, jobs)
         };
+        if let Some(builder) = manifest_builder.as_mut() {
+            let p = plan(exp);
+            builder.record_experiment(
+                exp.name(),
+                p.fingerprint(),
+                p.len(),
+                &report,
+                exp_stats.as_ref(),
+            );
+        }
         if json {
             println!("{}", report.to_json());
         } else {
             println!("{}", report.to_text());
         }
     }
+    // Drain the host capture once; the trace export and the manifest
+    // both read from it.
+    let host_report = host::take();
     if collecting {
         let bundles = sink::take();
         eprintln!("captured {} simulation(s)", bundles.len());
         if let Some(path) = trace_path {
-            let doc = chrome_trace(&bundles);
+            let doc = chrome_trace_with_host(&bundles, host_report.as_ref());
             write_or_die(&path, &serde_json::to_string(&doc));
         }
         if let Some(path) = metrics_path {
@@ -205,6 +262,14 @@ fn main() {
             );
             write_or_die(&path, &serde_json::to_string_pretty(&doc));
         }
+    }
+    if let (Some(path), Some(builder)) = (manifest_path, manifest_builder) {
+        let m = builder.finish(&Volatile {
+            wall_time_seconds: run_start.elapsed().as_secs_f64(),
+            git_rev: manifest::git_rev(),
+            host_metrics: host_report.as_ref().map(|r| r.metrics.to_value()),
+        });
+        write_or_die(&path, &m.to_string_pretty());
     }
     if failed_points > 0 {
         // Reports were still produced (with diagnostic rows), but the

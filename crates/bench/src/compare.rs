@@ -1,0 +1,364 @@
+//! Bench-trajectory analysis and the regression gate behind the
+//! `bench-compare` binary.
+//!
+//! Input is directories of `BENCH_*.json` manifests
+//! (`columbia-bench-manifest-v1`, written by
+//! [`crate::record::BenchRecord::emit`]). A *baseline* directory holds
+//! the committed reference values; a *current* directory holds the
+//! manifests the run under test produced. The gate compares each
+//! baseline bench's primary metric against the current run:
+//!
+//! * higher-is-better metrics regress when
+//!   `current < baseline * (1 - threshold)`;
+//! * lower-is-better metrics regress when
+//!   `current > baseline * (1 + threshold)`;
+//! * a baseline bench missing from the current run is a regression
+//!   outright (a silently-dropped bench must not pass the gate);
+//! * current benches absent from the baseline are reported but never
+//!   gate — new benches land first, get baselined second.
+//!
+//! Baselines store machine-independent *ratios* (speedups, overhead
+//! percentages), never raw nanoseconds: a CI runner two generations
+//! newer than the machine that wrote the baseline still produces the
+//! same speedup, but not the same ns/iter.
+//!
+//! When a directory holds several samples of one bench (a history of
+//! manifests), samples are ordered by file name — name history files
+//! sortably (`0001_BENCH_x.json`, …) — the latest is the value
+//! compared, and the whole trajectory is printed as the trend.
+
+use std::path::Path;
+
+use serde_json::Value;
+
+use crate::record::BENCH_MANIFEST_SCHEMA;
+
+/// One parsed bench manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSample {
+    /// File name the sample came from (orders a trajectory).
+    pub file: String,
+    /// Bench name.
+    pub bench: String,
+    /// Name of the gated metric.
+    pub primary: String,
+    /// Direction: `true` when larger primary values are better.
+    pub higher_is_better: bool,
+    /// The primary metric's value.
+    pub value: f64,
+}
+
+/// Why the gate failed for one bench.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Regression {
+    /// The primary metric crossed the threshold in the bad direction.
+    Threshold {
+        /// Bench name.
+        bench: String,
+        /// Committed reference value.
+        baseline: f64,
+        /// Value the run under test produced.
+        current: f64,
+        /// Fractional change in the bad direction (e.g. 0.25 = 25%).
+        change: f64,
+    },
+    /// The bench exists in the baseline but produced no manifest.
+    Missing {
+        /// Bench name.
+        bench: String,
+    },
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Regression::Threshold {
+                bench,
+                baseline,
+                current,
+                change,
+            } => write!(
+                f,
+                "{bench}: {current} vs baseline {baseline} ({:+.1}% in the bad direction)",
+                change * 100.0
+            ),
+            Regression::Missing { bench } => {
+                write!(
+                    f,
+                    "{bench}: in the baseline but missing from the current run"
+                )
+            }
+        }
+    }
+}
+
+/// The gate's verdict plus everything it looked at.
+#[derive(Debug, Clone, Default)]
+pub struct CompareOutcome {
+    /// One line per compared bench ("bench: baseline → current ...").
+    pub rows: Vec<String>,
+    /// Per-bench trajectories for multi-sample directories.
+    pub trends: Vec<String>,
+    /// Current benches with no committed baseline (informational).
+    pub unbaselined: Vec<String>,
+    /// Every gate failure.
+    pub regressions: Vec<Regression>,
+}
+
+impl CompareOutcome {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn parse_manifest(file: &str, text: &str) -> Result<BenchSample, String> {
+    let doc = serde_json::from_str(text).map_err(|e| format!("{file}: {e}"))?;
+    if doc.get("schema").and_then(Value::as_str) != Some(BENCH_MANIFEST_SCHEMA) {
+        return Err(format!("{file}: not a {BENCH_MANIFEST_SCHEMA} manifest"));
+    }
+    let field = |k: &str| -> Result<String, String> {
+        doc.get(k)
+            .and_then(Value::as_str)
+            .map(String::from)
+            .ok_or_else(|| format!("{file}: missing string field '{k}'"))
+    };
+    let bench = field("bench")?;
+    let primary = field("primary")?;
+    let higher_is_better = match doc.get("higher_is_better") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err(format!("{file}: missing bool field 'higher_is_better'")),
+    };
+    let value = doc
+        .get("metrics")
+        .and_then(|m| m.get(&primary))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{file}: metrics.{primary} missing or not a number"))?;
+    if !value.is_finite() {
+        return Err(format!("{file}: metrics.{primary} is not finite"));
+    }
+    Ok(BenchSample {
+        file: file.to_string(),
+        bench,
+        primary,
+        higher_is_better,
+        value,
+    })
+}
+
+/// Load every `BENCH_*.json` (or any `*.json` whose schema matches)
+/// manifest under `dir`, sorted by file name. Unparseable manifests
+/// are hard errors — a corrupt baseline must fail the gate loudly, not
+/// vanish from it.
+pub fn load_dir(dir: &Path) -> Result<Vec<BenchSample>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut files: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| e.file_name().to_str().map(String::from))
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    files.sort();
+    let mut samples = Vec::new();
+    for file in files {
+        let path = dir.join(&file);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        samples.push(parse_manifest(&file, &text)?);
+    }
+    Ok(samples)
+}
+
+/// The latest sample per bench, in first-seen bench order (input is
+/// file-name sorted, so "latest" is the lexicographically last file).
+fn latest_per_bench(samples: &[BenchSample]) -> Vec<&BenchSample> {
+    let mut order: Vec<&str> = Vec::new();
+    for s in samples {
+        if !order.contains(&s.bench.as_str()) {
+            order.push(&s.bench);
+        }
+    }
+    order
+        .iter()
+        .filter_map(|b| samples.iter().rfind(|s| s.bench == *b))
+        .collect()
+}
+
+/// Run the gate: compare the latest current sample of every baseline
+/// bench against its baseline at `threshold` (a fraction, e.g. 0.2 =
+/// 20%).
+pub fn compare(
+    baseline: &[BenchSample],
+    current: &[BenchSample],
+    threshold: f64,
+) -> CompareOutcome {
+    let mut out = CompareOutcome::default();
+
+    // Trajectories for any bench with more than one current sample.
+    let mut seen: Vec<&str> = Vec::new();
+    for s in current {
+        if seen.contains(&s.bench.as_str()) {
+            continue;
+        }
+        seen.push(&s.bench);
+        let series: Vec<&BenchSample> = current.iter().filter(|x| x.bench == s.bench).collect();
+        if series.len() > 1 {
+            let path: Vec<String> = series.iter().map(|x| x.value.to_string()).collect();
+            out.trends
+                .push(format!("{} {}: {}", s.bench, s.primary, path.join(" -> ")));
+        }
+    }
+
+    let current_latest = latest_per_bench(current);
+    for base in latest_per_bench(baseline) {
+        let Some(cur) = current_latest.iter().find(|c| c.bench == base.bench) else {
+            out.regressions.push(Regression::Missing {
+                bench: base.bench.clone(),
+            });
+            continue;
+        };
+        // Change in the *bad* direction, as a fraction of baseline.
+        let change = if base.higher_is_better {
+            (base.value - cur.value) / base.value
+        } else {
+            (cur.value - base.value) / base.value
+        };
+        let arrow = if base.higher_is_better { ">=" } else { "<=" };
+        let bound = if base.higher_is_better {
+            base.value * (1.0 - threshold)
+        } else {
+            base.value * (1.0 + threshold)
+        };
+        out.rows.push(format!(
+            "{} {}: baseline {} current {} (need {arrow} {bound:.4})",
+            base.bench, base.primary, base.value, cur.value
+        ));
+        if change > threshold {
+            out.regressions.push(Regression::Threshold {
+                bench: base.bench.clone(),
+                baseline: base.value,
+                current: cur.value,
+                change,
+            });
+        }
+    }
+
+    for cur in current_latest {
+        if !baseline.iter().any(|b| b.bench == cur.bench) {
+            out.unbaselined.push(cur.bench.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(file: &str, bench: &str, higher: bool, value: f64) -> BenchSample {
+        BenchSample {
+            file: file.to_string(),
+            bench: bench.to_string(),
+            primary: "speedup".to_string(),
+            higher_is_better: higher,
+            value,
+        }
+    }
+
+    #[test]
+    fn within_threshold_passes_and_reports_rows() {
+        let baseline = vec![sample("a", "mailbox", true, 1.5)];
+        let current = vec![sample("a", "mailbox", true, 1.35)];
+        let out = compare(&baseline, &current, 0.2);
+        assert!(out.passed(), "{:?}", out.regressions);
+        assert_eq!(out.rows.len(), 1);
+        assert!(out.rows[0].contains("baseline 1.5 current 1.35"));
+    }
+
+    #[test]
+    fn a_20_percent_drop_fails_a_20_percent_gate() {
+        let baseline = vec![sample("a", "mailbox", true, 1.5)];
+        // 1.5 * (1 - 0.2) = 1.2 is the bound; just under it regresses.
+        let current = vec![sample("a", "mailbox", true, 1.19)];
+        let out = compare(&baseline, &current, 0.2);
+        assert!(!out.passed());
+        let Regression::Threshold { change, .. } = &out.regressions[0] else {
+            panic!("{:?}", out.regressions)
+        };
+        assert!(*change > 0.2);
+    }
+
+    #[test]
+    fn lower_is_better_gates_the_other_direction() {
+        let baseline = vec![sample("a", "latency", false, 10.0)];
+        let ok = compare(&baseline, &[sample("a", "latency", false, 11.0)], 0.2);
+        assert!(ok.passed(), "10% slower is within a 20% gate");
+        let bad = compare(&baseline, &[sample("a", "latency", false, 12.5)], 0.2);
+        assert!(!bad.passed(), "25% slower must fail");
+        let faster = compare(&baseline, &[sample("a", "latency", false, 5.0)], 0.2);
+        assert!(faster.passed(), "improvement never regresses");
+    }
+
+    #[test]
+    fn missing_bench_is_a_regression_and_new_bench_is_not() {
+        let baseline = vec![sample("a", "mailbox", true, 1.5)];
+        let current = vec![sample("b", "engine", true, 2.0)];
+        let out = compare(&baseline, &current, 0.2);
+        assert_eq!(
+            out.regressions,
+            vec![Regression::Missing {
+                bench: "mailbox".to_string()
+            }]
+        );
+        assert_eq!(out.unbaselined, vec!["engine".to_string()]);
+    }
+
+    #[test]
+    fn multi_sample_directories_trend_and_gate_on_the_latest() {
+        let baseline = vec![sample("a", "mailbox", true, 1.5)];
+        // File-name order: the last sample is current. The middle dip
+        // below the bound must not fail the gate.
+        let current = vec![
+            sample("0001.json", "mailbox", true, 1.6),
+            sample("0002.json", "mailbox", true, 1.0),
+            sample("0003.json", "mailbox", true, 1.55),
+        ];
+        let out = compare(&baseline, &current, 0.2);
+        assert!(out.passed(), "{:?}", out.regressions);
+        assert_eq!(out.trends.len(), 1);
+        assert!(
+            out.trends[0].contains("1.6 -> 1 -> 1.55"),
+            "{}",
+            out.trends[0]
+        );
+    }
+
+    #[test]
+    fn manifests_round_trip_from_disk() {
+        use crate::record::BenchRecord;
+        let dir = std::env::temp_dir().join(format!(
+            "columbia-bench-compare-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = BenchRecord::new("mailbox_ring_512", "speedup", true)
+            .metric("reference_ns_per_iter", 100000.0, 0)
+            .metric("indexed_ns_per_iter", 55000.0, 0)
+            .metric("speedup", 1.818, 3);
+        std::fs::write(
+            dir.join(rec.manifest_file_name()),
+            serde_json::to_string_pretty(&rec.manifest_value()),
+        )
+        .unwrap();
+        let samples = load_dir(&dir).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].bench, "mailbox_ring_512");
+        assert_eq!(samples[0].value, 1.818);
+        assert!(samples[0].higher_is_better);
+        // A corrupt manifest is a hard error, not a silent skip.
+        std::fs::write(dir.join("BENCH_broken.json"), "{not json").unwrap();
+        assert!(load_dir(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -2,3 +2,19 @@
 //! and figure of the paper; the Criterion benches (in `benches/`)
 //! measure the real kernels and the simulator, including the ablation
 //! studies DESIGN.md calls out.
+//!
+//! This library hosts the pieces the benches and CI share:
+//!
+//! * [`record`] — the one way a bench emits its machine-readable
+//!   result: a `BENCH JSON` stdout line (grepped into the CI bench
+//!   artifact) plus, when `BENCH_MANIFEST_DIR` is set, a schema'd
+//!   per-bench manifest file for the regression gate.
+//! * [`mod@compare`] — ingestion and trend/regression analysis over a
+//!   directory of those manifests, behind the `bench-compare` binary
+//!   CI gates on.
+
+pub mod compare;
+pub mod record;
+
+pub use compare::{compare, load_dir, BenchSample, CompareOutcome};
+pub use record::BenchRecord;

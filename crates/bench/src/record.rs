@@ -1,0 +1,195 @@
+//! `BENCH JSON` emission — one helper instead of N hand-formatted
+//! `println!` templates.
+//!
+//! Every comparison bench reports the same way: a single stdout line
+//!
+//! ```text
+//! BENCH JSON {"bench":"mailbox_ring_512","reference_ns_per_iter":...,"indexed_ns_per_iter":...,"speedup":1.83}
+//! ```
+//!
+//! that CI greps into its bench artifact and floor-checks, plus —
+//! when the `BENCH_MANIFEST_DIR` environment variable names a
+//! directory — a `BENCH_<name>.json` manifest file
+//! (`columbia-bench-manifest-v1`) that the `bench-compare` regression
+//! gate ingests. Metric insertion order is preserved in both
+//! renderings, so the line format is byte-compatible with the
+//! hand-rolled templates this module replaced.
+
+use serde_json::Value;
+
+/// Schema tag of one bench manifest file.
+pub const BENCH_MANIFEST_SCHEMA: &str = "columbia-bench-manifest-v1";
+
+/// One bench result: named metrics in insertion order, one of them
+/// designated *primary* — the scalar the regression gate trends.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    name: String,
+    primary: String,
+    higher_is_better: bool,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// Start a record for bench `name` whose gated scalar is
+    /// `primary` (`higher_is_better` tells the gate which direction is
+    /// a regression). The primary metric must be added via
+    /// [`BenchRecord::metric`] like any other.
+    pub fn new(name: &str, primary: &str, higher_is_better: bool) -> Self {
+        BenchRecord {
+            name: name.to_string(),
+            primary: primary.to_string(),
+            higher_is_better,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Append metric `key` rounded to `decimals` fractional digits
+    /// (the rounding the old hand-formatted lines applied — `{:.0}`
+    /// for nanosecond counts, `{:.3}` for ratios).
+    pub fn metric(mut self, key: &str, value: f64, decimals: u32) -> Self {
+        let scale = 10f64.powi(decimals as i32);
+        self.metrics
+            .push((key.to_string(), (value * scale).round() / scale));
+        self
+    }
+
+    /// The bench name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The primary metric's current value, if it was added.
+    pub fn primary_value(&self) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| *k == self.primary)
+            .map(|(_, v)| *v)
+    }
+
+    /// The stdout line CI greps: `BENCH JSON {...}` with the bench
+    /// name first and metrics in insertion order.
+    pub fn line(&self) -> String {
+        let mut doc = Value::object();
+        doc.set("bench", Value::String(self.name.clone()));
+        for (k, v) in &self.metrics {
+            doc.set(k, Value::Number(*v));
+        }
+        format!("BENCH JSON {}", serde_json::to_string(&doc))
+    }
+
+    /// The manifest document `bench-compare` ingests.
+    pub fn manifest_value(&self) -> Value {
+        let mut doc = Value::object();
+        doc.set("schema", Value::String(BENCH_MANIFEST_SCHEMA.into()));
+        doc.set("bench", Value::String(self.name.clone()));
+        doc.set("primary", Value::String(self.primary.clone()));
+        doc.set("higher_is_better", Value::Bool(self.higher_is_better));
+        let mut metrics = Value::object();
+        for (k, v) in &self.metrics {
+            metrics.set(k, Value::Number(*v));
+        }
+        doc.set("metrics", metrics);
+        doc
+    }
+
+    /// Canonical manifest file name for this bench.
+    pub fn manifest_file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Print the `BENCH JSON` line and, when `BENCH_MANIFEST_DIR` is
+    /// set, write the manifest file into that directory (created if
+    /// missing). Manifest write failures are reported on stderr but
+    /// never fail the bench — a read-only CI scratch dir must not turn
+    /// a measurement into an error.
+    pub fn emit(&self) {
+        println!("{}", self.line());
+        let Ok(dir) = std::env::var("BENCH_MANIFEST_DIR") else {
+            return;
+        };
+        if dir.is_empty() {
+            return;
+        }
+        let dir = std::path::PathBuf::from(dir);
+        let path = dir.join(self.manifest_file_name());
+        let payload = serde_json::to_string_pretty(&self.manifest_value());
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, payload))
+        {
+            eprintln!("bench manifest write failed ({}): {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mailbox_record() -> BenchRecord {
+        BenchRecord::new("mailbox_ring_512", "speedup", true)
+            .metric("reference_ns_per_iter", 123456.7, 0)
+            .metric("indexed_ns_per_iter", 67890.2, 0)
+            .metric("speedup", 1.8183456, 3)
+    }
+
+    #[test]
+    fn line_matches_the_historical_hand_format() {
+        // Exactly what the old println! template produced for the
+        // same inputs: `{:.0}` ns, `{:.3}` speedup, same field order.
+        assert_eq!(
+            mailbox_record().line(),
+            "BENCH JSON {\"bench\":\"mailbox_ring_512\",\
+             \"reference_ns_per_iter\":123457,\
+             \"indexed_ns_per_iter\":67890,\"speedup\":1.818}"
+        );
+    }
+
+    #[test]
+    fn line_round_trips_through_the_parser() {
+        let line = mailbox_record().line();
+        let json = line.strip_prefix("BENCH JSON ").expect("prefix");
+        let doc = serde_json::from_str(json).expect("line parses");
+        assert_eq!(
+            doc.get("bench").and_then(Value::as_str),
+            Some("mailbox_ring_512")
+        );
+        assert_eq!(doc.get("speedup").and_then(Value::as_f64), Some(1.818));
+        assert_eq!(
+            doc.get("reference_ns_per_iter").and_then(Value::as_f64),
+            Some(123457.0)
+        );
+    }
+
+    #[test]
+    fn manifest_carries_schema_primary_and_direction() {
+        let doc = mailbox_record().manifest_value();
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some(BENCH_MANIFEST_SCHEMA)
+        );
+        assert_eq!(doc.get("primary").and_then(Value::as_str), Some("speedup"));
+        assert!(matches!(
+            doc.get("higher_is_better"),
+            Some(Value::Bool(true))
+        ));
+        assert_eq!(
+            doc.get("metrics")
+                .and_then(|m| m.get("speedup"))
+                .and_then(Value::as_f64),
+            Some(1.818)
+        );
+        assert_eq!(
+            mailbox_record().manifest_file_name(),
+            "BENCH_mailbox_ring_512.json"
+        );
+    }
+
+    #[test]
+    fn primary_value_reads_back_the_designated_metric() {
+        assert_eq!(mailbox_record().primary_value(), Some(1.818));
+        assert_eq!(
+            BenchRecord::new("empty", "speedup", true).primary_value(),
+            None
+        );
+    }
+}

@@ -42,12 +42,14 @@ pub use columbia_runtime as runtime;
 pub use columbia_simnet as simnet;
 
 pub mod experiments;
+pub mod manifest;
 pub mod obs_report;
 pub mod report;
 pub mod store;
 pub mod sweep;
 
 pub use experiments::{run, run_with_jobs, Experiment};
+pub use manifest::{ManifestBuilder, ResilienceSummary, RunManifest, Volatile};
 pub use obs_report::hotspot_report;
 pub use report::{Report, ReportError};
 pub use store::{PointKey, PointStore, StoreError};

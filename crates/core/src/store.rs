@@ -45,6 +45,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use columbia_obs::host::{self, HostTrack};
 use serde_json::Value;
 
 use crate::sweep::PointOutput;
@@ -172,7 +173,12 @@ impl PointStore {
     }
 
     /// Persist one completed point atomically (temp file + rename).
+    ///
+    /// Under a live host capture the write+rename is timed as a span on
+    /// the store lane, observed into `store.write_seconds`, and counted
+    /// as `store.saves` (or `store.save_errors` on failure).
     pub fn save(&self, key: &PointKey, output: &PointOutput) -> Result<(), StoreError> {
+        let t0 = host::clock();
         let final_path = self.dir.join(key.file_name());
         let tmp_path = self.dir.join(format!(
             "{}.tmp.{}.{}",
@@ -181,25 +187,90 @@ impl PointStore {
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let payload = encode_point(output);
-        std::fs::write(&tmp_path, payload).map_err(|source| StoreError::Io {
-            action: "write",
-            path: tmp_path.clone(),
-            source,
-        })?;
-        std::fs::rename(&tmp_path, &final_path).map_err(|source| StoreError::Io {
-            action: "rename into",
-            path: final_path.clone(),
-            source,
-        })
+        let bytes = payload.len();
+        let result = std::fs::write(&tmp_path, payload)
+            .map_err(|source| StoreError::Io {
+                action: "write",
+                path: tmp_path.clone(),
+                source,
+            })
+            .and_then(|()| {
+                std::fs::rename(&tmp_path, &final_path).map_err(|source| StoreError::Io {
+                    action: "rename into",
+                    path: final_path.clone(),
+                    source,
+                })
+            });
+        if let Some(t0) = t0 {
+            let ok = result.is_ok();
+            host::count(
+                if ok {
+                    "store.saves"
+                } else {
+                    "store.save_errors"
+                },
+                1,
+            );
+            host::span(
+                HostTrack::Store,
+                "host.store",
+                format!("save point {}", key.index),
+                t0,
+                vec![
+                    ("index", Value::Number(key.index as f64)),
+                    ("bytes", Value::Number(bytes as f64)),
+                    (
+                        "outcome",
+                        Value::String(if ok { "ok" } else { "error" }.into()),
+                    ),
+                ],
+            );
+            // The span's end already measured the write+rename; reuse
+            // the same clock for the latency histogram.
+            if let Some(t1) = host::clock() {
+                host::observe("store.write_seconds", (t1 - t0).max(0.0));
+            }
+        }
+        result
     }
 
     /// Load a point if a valid entry exists. Missing, truncated,
     /// corrupt, or version-mismatched entries are misses (`None`): the
     /// caller re-runs the point and overwrites the entry.
+    ///
+    /// Under a live host capture each probe lands on the store lane as
+    /// an instant and one of `store.hits` (valid entry),
+    /// `store.misses` (no readable file), or `store.corrupt` (file
+    /// read, decode refused).
     pub fn load(&self, key: &PointKey) -> Option<PointOutput> {
         let path = self.dir.join(key.file_name());
-        let text = std::fs::read_to_string(path).ok()?;
-        decode_point(&text)
+        let read = std::fs::read_to_string(path);
+        let decoded = read.as_deref().ok().and_then(decode_point);
+        if host::is_enabled() {
+            let outcome = match (&read, &decoded) {
+                (Ok(_), Some(_)) => "hit",
+                (Ok(_), None) => "corrupt",
+                (Err(_), _) => "miss",
+            };
+            host::count(
+                match outcome {
+                    "hit" => "store.hits",
+                    "corrupt" => "store.corrupt",
+                    _ => "store.misses",
+                },
+                1,
+            );
+            host::instant(
+                HostTrack::Store,
+                "host.store",
+                format!("load point {}: {outcome}", key.index),
+                vec![
+                    ("index", Value::Number(key.index as f64)),
+                    ("outcome", Value::String(outcome.into())),
+                ],
+            );
+        }
+        decoded
     }
 
     /// Whether a valid entry exists for `key`.

@@ -245,6 +245,26 @@ pub struct SweepStats {
     pub checkpoint_errors: u64,
 }
 
+impl SweepStats {
+    /// Render as ordered JSON — the `stats` object inside both the run
+    /// manifest and `repro`'s `SWEEP JSON` stderr record.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let mut v = Value::object();
+        v.set("points", Value::Number(self.points as f64));
+        v.set("resumed", Value::Number(self.resumed as f64));
+        v.set("retries", Value::Number(self.retries as f64));
+        v.set("panics", Value::Number(self.panics as f64));
+        v.set("timeouts", Value::Number(self.timeouts as f64));
+        v.set("failed", Value::Number(self.failed as f64));
+        v.set(
+            "checkpoint_errors",
+            Value::Number(self.checkpoint_errors as f64),
+        );
+        v
+    }
+}
+
 /// The result of [`SweepPlan::run_resilient`]: the (possibly degraded)
 /// report, the typed failures in sweep-index order, and run statistics.
 #[derive(Debug)]

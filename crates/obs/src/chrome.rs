@@ -12,6 +12,7 @@
 
 use serde_json::Value;
 
+use crate::host::{HostReport, HostTrack};
 use crate::sink::TraceBundle;
 use crate::tracer::{SpanEvent, Track};
 
@@ -51,6 +52,80 @@ fn complete(span: &SpanEvent, pid: usize, tid: usize) -> Value {
     e.set("pid", Value::Number(pid as f64));
     e.set("tid", Value::Number(tid as f64));
     e
+}
+
+/// Render one host-side span as a complete event on the host process.
+fn host_complete(span: &crate::host::HostSpan, pid: usize, tid: usize) -> Value {
+    let mut e = Value::object();
+    e.set("name", Value::String(span.label.clone()));
+    e.set("cat", Value::String(span.cat.into()));
+    e.set("ph", Value::String("X".into()));
+    e.set("ts", Value::Number(us(span.start)));
+    e.set("dur", Value::Number(us(span.duration())));
+    e.set("pid", Value::Number(pid as f64));
+    e.set("tid", Value::Number(tid as f64));
+    if !span.args.is_empty() {
+        let mut args = Value::object();
+        for (k, v) in &span.args {
+            args.set(k, v.clone());
+        }
+        e.set("args", args);
+    }
+    e
+}
+
+/// Render `bundles` plus an optional host-telemetry capture as one
+/// Chrome trace document.
+///
+/// Simulated-time tracks are laid out exactly as in [`chrome_trace`].
+/// The host capture — when present — becomes one extra process (pid
+/// `bundles.len()`, named "host executor (wall clock)"): one thread
+/// per worker lane ("worker 0", "worker 1", …) carrying job spans and
+/// steal instants, plus a "checkpoint store" thread for store
+/// save/load activity. Host timestamps are wall-clock seconds since
+/// the capture epoch, so in Perfetto the executor's real occupancy
+/// reads side by side with the simulators' virtual timelines.
+pub fn chrome_trace_with_host(bundles: &[TraceBundle], host: Option<&HostReport>) -> Value {
+    let mut doc = chrome_trace(bundles);
+    let Some(host) = host else {
+        return doc;
+    };
+    let pid = bundles.len();
+    let workers = host.workers();
+    // Store track sits after the last worker lane (or at 0 when no
+    // worker ever recorded — a store-only capture still renders).
+    let store_tid = workers.last().map_or(0, |w| *w as usize + 1);
+    let mut events: Vec<Value> = Vec::new();
+    events.push(meta("process_name", pid, 0, "host executor (wall clock)"));
+    let mut store_seen = false;
+    for span in &host.spans {
+        let tid = match span.track {
+            HostTrack::Worker(w) => w as usize,
+            HostTrack::Store => {
+                store_seen = true;
+                store_tid
+            }
+        };
+        events.push(host_complete(span, pid, tid));
+    }
+    for w in &workers {
+        events.push(meta(
+            "thread_name",
+            pid,
+            *w as usize,
+            &format!("worker {w}"),
+        ));
+    }
+    if store_seen {
+        events.push(meta("thread_name", pid, store_tid, "checkpoint store"));
+    }
+    let Some(Value::Array(all)) = doc.get("traceEvents").cloned() else {
+        return doc;
+    };
+    let mut all = all;
+    all.extend(events);
+    doc.set("traceEvents", Value::Array(all));
+    doc
 }
 
 /// Render `bundles` as one Chrome trace document.
@@ -166,6 +241,81 @@ mod tests {
             .find(|e| e.get("cat").and_then(Value::as_str) == Some("net"))
             .unwrap();
         assert_eq!(net.get("tid").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn host_capture_renders_as_its_own_process_with_worker_tracks() {
+        use crate::host::{HostReport, HostSpan, HostTrack};
+        let mut report = HostReport::default();
+        report.spans.push(HostSpan {
+            track: HostTrack::Worker(0),
+            label: "job 0".into(),
+            cat: "host.job",
+            start: 0.0,
+            end: 0.25,
+            args: vec![("outcome", Value::String("ok".into()))],
+        });
+        report.spans.push(HostSpan {
+            track: HostTrack::Worker(2),
+            label: "steal".into(),
+            cat: "host.steal",
+            start: 0.1,
+            end: 0.1,
+            args: vec![],
+        });
+        report.spans.push(HostSpan {
+            track: HostTrack::Store,
+            label: "save".into(),
+            cat: "host.store",
+            start: 0.2,
+            end: 0.21,
+            args: vec![],
+        });
+        let doc = chrome_trace_with_host(&[bundle()], Some(&report));
+        let text = serde_json::to_string(&doc);
+        let parsed = serde_json::from_str(&text).unwrap();
+        let events = parsed.get("traceEvents").and_then(Value::as_array).unwrap();
+        // Host process is pid 1 (after the one sim bundle).
+        let host_events: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("pid").and_then(Value::as_f64) == Some(1.0))
+            .collect();
+        assert!(!host_events.is_empty(), "host process present");
+        let names: Vec<&str> = host_events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(names, vec!["worker 0", "worker 2", "checkpoint store"]);
+        // The store track lands after the last worker lane (tid 3).
+        let save = host_events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("save"))
+            .unwrap();
+        assert_eq!(save.get("tid").and_then(Value::as_f64), Some(3.0));
+        // Job args survive the export.
+        let job = host_events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("job 0"))
+            .unwrap();
+        assert_eq!(
+            job.get("args")
+                .and_then(|a| a.get("outcome"))
+                .and_then(Value::as_str),
+            Some("ok")
+        );
+        // Simulated-time tracks are untouched alongside.
+        assert!(events
+            .iter()
+            .any(|e| e.get("pid").and_then(Value::as_f64) == Some(0.0)
+                && e.get("ph").and_then(Value::as_str) == Some("X")));
+    }
+
+    #[test]
+    fn no_host_capture_is_exactly_the_plain_export() {
+        let plain = serde_json::to_string(&chrome_trace(&[bundle()]));
+        let merged = serde_json::to_string(&chrome_trace_with_host(&[bundle()], None));
+        assert_eq!(plain, merged);
     }
 
     #[test]

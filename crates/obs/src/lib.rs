@@ -25,6 +25,10 @@
 //! * [`sink`] — a process-global collection point so `repro --trace`
 //!   can capture every simulation an experiment runs without
 //!   threading a tracer through each workload crate's API.
+//! * [`host`] — host-side (wall-clock) execution telemetry: worker
+//!   lanes, steals, retries, and checkpoint-store activity, recorded
+//!   by the sweep executor and merged into the Chrome export as its
+//!   own process so real execution reads next to simulated time.
 //!
 //! Overhead guarantees: with [`NullTracer`] every hook is an inlined
 //! empty function behind an `enabled()` check that constant-folds to
@@ -36,12 +40,14 @@
 //! [`SimOutcome`]: https://docs.rs/columbia-simnet
 
 pub mod chrome;
+pub mod host;
 pub mod metrics;
 pub mod profile;
 pub mod sink;
 pub mod tracer;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_with_host};
+pub use host::{HostReport, HostSpan, HostTrack};
 pub use metrics::{Histogram, Metrics};
 pub use profile::{CommProfile, PhaseProfile, RankProfile};
 pub use sink::TraceBundle;

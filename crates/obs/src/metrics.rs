@@ -45,10 +45,22 @@ impl Histogram {
     }
 
     /// Record one observation.
+    ///
+    /// A bucket holds values strictly below its bound, so an
+    /// observation sitting exactly on a power-of-ten boundary lands in
+    /// the bucket *above* it. Zero and negative observations land in
+    /// the lowest bucket (everything is `< 1e-9`). NaN observations
+    /// are dropped — one poisoned sample must not turn `sum`/`mean`
+    /// into NaN for the whole registry — which makes NaN the identity
+    /// observation, mirroring how [`Histogram::merge`] treats an empty
+    /// histogram.
     pub fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
         let mut idx = Self::BUCKETS - 1;
         for i in 0..Self::BUCKETS - 1 {
-            if v < Self::bucket_bound(i).unwrap() {
+            if Self::bucket_bound(i).is_some_and(|bound| v < bound) {
                 idx = i;
                 break;
             }
@@ -58,6 +70,25 @@ impl Histogram {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// Fold `other`'s observations into `self`, bucket by bucket.
+    ///
+    /// Merging an empty histogram is the identity (and merging into an
+    /// empty one copies `other`): the executor merges per-worker
+    /// histograms into one registry, and idle workers contribute
+    /// nothing.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Number of observations.
@@ -133,6 +164,15 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// A const-constructible empty registry, for static initializers
+    /// (the process-global host-telemetry state in [`crate::host`]).
+    pub const EMPTY: Metrics = Metrics {
+        counters: BTreeMap::new(),
+        gauges: BTreeMap::new(),
+        histograms: BTreeMap::new(),
+        link_bytes: BTreeMap::new(),
+    };
+
     /// Fresh, empty registry.
     pub fn new() -> Self {
         Self::default()
@@ -250,6 +290,120 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
+    }
+
+    /// Which bucket a single observation of `v` lands in.
+    fn bucket_of(v: f64) -> usize {
+        let mut h = Histogram::default();
+        h.record(v);
+        let val = h.to_value();
+        let Value::Object(buckets) = val.get("buckets").unwrap().clone() else {
+            panic!("buckets must be an object");
+        };
+        assert_eq!(buckets.len(), 1, "exactly one bucket holds the sample");
+        let label = &buckets[0].0;
+        if label == "overflow" {
+            return Histogram::BUCKETS - 1;
+        }
+        (0..Histogram::BUCKETS - 1)
+            .find(|&i| format!("lt_{:.0e}", Histogram::bucket_bound(i).unwrap()) == *label)
+            .unwrap_or_else(|| panic!("unknown bucket label {label}"))
+    }
+
+    #[test]
+    fn exact_power_of_ten_boundaries_land_in_the_bucket_above() {
+        // Buckets are half-open `[prev, bound)`: a value exactly on
+        // bucket i's bound is not `< bound`, so it belongs to bucket
+        // i+1. Probing with the bound itself makes the test exact —
+        // no assumption about the literal 1e-9 equaling `10f64.powi`.
+        for i in 0..Histogram::BUCKETS - 1 {
+            let bound = Histogram::bucket_bound(i).unwrap();
+            assert_eq!(bucket_of(bound), i + 1, "bound of bucket {i}");
+            // And a value just under the bound stays in bucket i (the
+            // decade midpoint is comfortably inside).
+            assert!(bucket_of(bound * 0.5) <= i, "half the bound of bucket {i}");
+        }
+        // The last bound (1e3) overflows: bucket BUCKETS-1 *is* the
+        // overflow bucket.
+        let top = Histogram::bucket_bound(Histogram::BUCKETS - 2).unwrap();
+        assert_eq!(bucket_of(top), Histogram::BUCKETS - 1);
+        assert_eq!(Histogram::bucket_bound(Histogram::BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn zero_and_negative_observations_land_in_the_lowest_bucket() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(-0.0), 0);
+        assert_eq!(bucket_of(-1.0), 0);
+        assert_eq!(bucket_of(-1e6), 0);
+        let mut h = Histogram::default();
+        h.record(0.0);
+        h.record(-2.5);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), -2.5);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.sum(), -2.5);
+    }
+
+    #[test]
+    fn nan_observations_are_dropped() {
+        let mut h = Histogram::default();
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0, "NaN is not an observation");
+        assert_eq!(h.mean(), 0.0);
+        // NaN between real samples must not poison the stats.
+        h.record(1.0);
+        h.record(f64::NAN);
+        h.record(3.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 4.0);
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 3.0);
+    }
+
+    #[test]
+    fn merge_of_empty_histogram_is_the_identity() {
+        let mut h = Histogram::default();
+        for v in [1e-6, 5e-3, 40.0, -1.0] {
+            h.record(v);
+        }
+        let before = h.clone();
+        h.merge(&Histogram::default());
+        assert_eq!(h, before, "merging an empty histogram changes nothing");
+
+        // The mirror image: merging into an empty histogram copies.
+        let mut empty = Histogram::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+
+        // And two empties stay empty (min/max sentinels untouched).
+        let mut a = Histogram::default();
+        a.merge(&Histogram::default());
+        assert_eq!(a, Histogram::default());
+        assert_eq!(a.min(), 0.0);
+        assert_eq!(a.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts_sums_and_extrema() {
+        let mut a = Histogram::default();
+        a.record(1e-6);
+        a.record(2.0);
+        let mut b = Histogram::default();
+        b.record(1e-8);
+        b.record(500.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert!((a.sum() - (1e-6 + 2.0 + 1e-8 + 500.0)).abs() < 1e-12);
+        assert_eq!(a.min(), 1e-8);
+        assert_eq!(a.max(), 500.0);
+        // Equivalent to recording everything into one histogram.
+        let mut all = Histogram::default();
+        for v in [1e-6, 2.0, 1e-8, 500.0] {
+            all.record(v);
+        }
+        assert_eq!(a, all);
     }
 
     #[test]

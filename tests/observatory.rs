@@ -1,0 +1,194 @@
+//! The host-side observatory, end to end.
+//!
+//! Three contracts under test, mirroring `repro`'s promises:
+//!
+//! * **Manifest byte-stability** — two identical runs of the same
+//!   experiment produce byte-identical run manifests once the declared
+//!   `volatile` key is stripped, and the stable part changes exactly
+//!   when the run's identity (plan shape) changes.
+//! * **Host capture through real sweeps** — with a capture enabled, a
+//!   resilient checkpointed run records worker-lane job spans and
+//!   checkpoint-store hit/save counters, and the Chrome export renders
+//!   them as a dedicated "host executor (wall clock)" process next to
+//!   the simulated-time tracks.
+//! * **Zero residue** — with no capture enabled the same run leaves
+//!   nothing behind to take.
+//!
+//! The host capture window is process-global, so every test that
+//! touches it serializes on one lock (this integration binary is its
+//! own process — the unit-test binaries cannot interfere).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use columbia::experiments::{plan, run_resilient, run_with_jobs, Experiment};
+use columbia::manifest::{report_hash, ManifestBuilder, ResilienceSummary, Volatile};
+use columbia::obs::{chrome_trace_with_host, host};
+use columbia::{PointStore, ResilienceOptions, RunManifest};
+use serde_json::Value;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "columbia-observatory-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Build the manifest `repro --manifest` would for one plain run of
+/// `exp` on `jobs` threads.
+fn manifest_for(exp: Experiment, jobs: usize, wall: f64) -> RunManifest {
+    let report = run_with_jobs(exp, jobs);
+    let p = plan(exp);
+    let mut b = ManifestBuilder::new("repro", jobs, &ResilienceSummary::default());
+    b.record_experiment(exp.name(), p.fingerprint(), p.len(), &report, None);
+    b.finish(&Volatile {
+        wall_time_seconds: wall,
+        git_rev: columbia::manifest::git_rev(),
+        host_metrics: None,
+    })
+}
+
+#[test]
+fn manifests_of_identical_runs_are_byte_stable() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let a = manifest_for(Experiment::Table2, 1, 0.5);
+    let b = manifest_for(Experiment::Table2, 2, 7.5);
+    // Different job counts are a *declared* stable field — they change
+    // the stable part — so compare equal-jobs runs first.
+    let a2 = manifest_for(Experiment::Table2, 1, 99.0);
+    assert_eq!(
+        a.stable_string(),
+        a2.stable_string(),
+        "same experiment, same jobs: stable part byte-identical"
+    );
+    assert_ne!(
+        a.to_string_pretty(),
+        a2.to_string_pretty(),
+        "wall time still differs in the full document"
+    );
+    assert_ne!(
+        a.stable_string(),
+        b.stable_string(),
+        "jobs is part of the run's stable identity"
+    );
+    // And a different experiment moves the fingerprint + report hash.
+    let c = manifest_for(Experiment::Table1, 1, 0.5);
+    assert_ne!(a.stable_string(), c.stable_string());
+}
+
+#[test]
+fn manifest_report_hash_matches_the_rendered_report() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let exp = Experiment::Table1;
+    let report = run_with_jobs(exp, 1);
+    let m = manifest_for(exp, 1, 0.0);
+    let doc = serde_json::from_str(&m.to_string_pretty()).expect("manifest parses");
+    let exps = doc
+        .get("experiments")
+        .and_then(Value::as_array)
+        .expect("experiments array");
+    assert_eq!(exps.len(), 1);
+    assert_eq!(
+        exps[0].get("report_hash").and_then(Value::as_str),
+        Some(report_hash(&report).as_str()),
+        "manifest pins the report content"
+    );
+    assert_eq!(
+        exps[0].get("points").and_then(Value::as_f64),
+        Some(plan(exp).len() as f64)
+    );
+}
+
+#[test]
+fn resilient_checkpointed_run_fills_worker_and_store_tracks() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("capture");
+    let exp = Experiment::Table2;
+    let points = plan(exp).len();
+
+    // First run: cold store, capture on. Every point runs and saves.
+    host::enable();
+    let opts = ResilienceOptions {
+        store: Some(PointStore::open(&dir).expect("store opens")),
+        resume: true,
+        ..ResilienceOptions::default()
+    };
+    let outcome = run_resilient(exp, 2, opts);
+    assert_eq!(outcome.stats.failed, 0);
+    let report = host::take().expect("capture live");
+    let job_spans = report.spans.iter().filter(|s| s.cat == "host.job").count();
+    assert_eq!(job_spans, points, "one worker-lane span per sweep point");
+    assert_eq!(report.metrics.counter("host.jobs") as usize, points);
+    assert_eq!(
+        report.metrics.counter("store.saves") as usize,
+        points,
+        "every point checkpointed"
+    );
+    assert_eq!(
+        report.metrics.counter("store.misses") as usize,
+        points,
+        "cold store: every resume probe missed"
+    );
+    assert!(
+        report
+            .metrics
+            .histogram("store.write_seconds")
+            .is_some_and(|h| h.count() as usize == points),
+        "write latency observed per save"
+    );
+
+    // Second run: warm store. Every probe hits; nothing re-runs.
+    host::enable();
+    let opts = ResilienceOptions {
+        store: Some(PointStore::open(&dir).expect("store reopens")),
+        resume: true,
+        ..ResilienceOptions::default()
+    };
+    let outcome = run_resilient(exp, 2, opts);
+    assert_eq!(outcome.stats.resumed, points);
+    let warm = host::take().expect("capture live");
+    assert_eq!(warm.metrics.counter("store.hits") as usize, points);
+    assert_eq!(warm.metrics.counter("store.saves"), 0, "nothing re-saved");
+
+    // The capture renders as its own process in the Chrome export.
+    let doc = chrome_trace_with_host(&[], Some(&report));
+    let text = serde_json::to_string(&doc);
+    let parsed = serde_json::from_str(&text).expect("trace parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents");
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert_eq!(names, vec!["host executor (wall clock)"]);
+    let threads: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert!(
+        threads.iter().any(|t| t.starts_with("worker ")),
+        "worker lanes named: {threads:?}"
+    );
+    assert!(
+        threads.contains(&"checkpoint store"),
+        "store lane named: {threads:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn uncaptured_runs_leave_nothing_to_take() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(!host::is_enabled());
+    let _ = run_with_jobs(Experiment::Table1, 2);
+    assert!(host::take().is_none(), "no capture was enabled");
+}
