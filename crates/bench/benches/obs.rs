@@ -148,5 +148,54 @@ fn bench_host_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tracer_overhead, bench_host_overhead);
+/// What the analyzer itself costs, relative to the capture it consumes:
+/// record a 512-rank 10-round ring once, then time `analyze` (critical
+/// path + imbalance + comm matrix) against the traced simulation that
+/// produced the bundle. Emitted as `analysis_cost` with the
+/// capture-relative ratio as primary — informational (unbaselined),
+/// since the analyzer runs offline on already-captured data and never
+/// sits on the untraced engine path.
+fn bench_analysis_cost(c: &mut Criterion) {
+    let fabric = ClusterFabric::single_node(ClusterConfig::uniform(NodeKind::Bx2b, 1));
+    let n = 512usize;
+    let cpus: Vec<CpuId> = (0..n as u32).map(|c| CpuId::new(0, c)).collect();
+    let programs = ring(n, 10);
+    let plan = FaultPlan::none();
+    let mut tracer = RecordingTracer::new();
+    simulate_traced(&programs, &cpus, &fabric, &plan, &mut tracer).unwrap();
+    let bundle = tracer.into_bundle("analysis bench");
+
+    let (capture_ns, analyze_ns) = time_pair_ns(
+        3,
+        30,
+        || {
+            let mut t = RecordingTracer::new();
+            std::hint::black_box(
+                simulate_traced(&programs, &cpus, &fabric, &plan, &mut t).unwrap(),
+            );
+        },
+        || {
+            std::hint::black_box(columbia::obs::analyze(&bundle));
+        },
+    );
+    BenchRecord::new("analysis_cost", "analyze_vs_capture_ratio", false)
+        .metric("capture_ns_per_iter", capture_ns, 0)
+        .metric("analyze_ns_per_iter", analyze_ns, 0)
+        .metric("analyze_vs_capture_ratio", analyze_ns / capture_ns, 4)
+        .emit();
+
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.bench_function("ring_512_analyze", |b| {
+        b.iter(|| columbia::obs::analyze(&bundle));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tracer_overhead,
+    bench_host_overhead,
+    bench_analysis_cost
+);
 criterion_main!(benches);

@@ -9,9 +9,13 @@
 //! compares each baseline bench's primary metric against the latest
 //! current sample (see `columbia_bench::compare` for the exact rules:
 //! direction-aware threshold, missing-bench = failure, unbaselined
-//! benches informational). Exit codes:
+//! benches informational). A bench that moved past the threshold in
+//! the *good* direction prints under a labeled `improved` section —
+//! the committed baseline is stale — without affecting the verdict.
+//! Exit codes:
 //!
-//! * `0` — every baseline bench within threshold;
+//! * `0` — every baseline bench within threshold (improvements
+//!   included);
 //! * `1` — at least one regression (threshold crossed or bench
 //!   missing);
 //! * `2` — usage or I/O error (unreadable directory, corrupt
@@ -82,11 +86,22 @@ fn main() {
     for bench in &out.unbaselined {
         println!("note   {bench}: no committed baseline (not gated)");
     }
+    // Improvements never gate, but a baseline refresh should be a
+    // deliberate act — make stale baselines visible in the CI log.
+    if !out.improvements.is_empty() {
+        println!(
+            "improved ({} bench(es) past the threshold in the good direction):",
+            out.improvements.len()
+        );
+        for i in &out.improvements {
+            println!("improved  {i}");
+        }
+    }
     if out.passed() {
         println!(
-            "bench-compare: OK ({} bench(es) within {:.0}% of baseline)",
+            "bench-compare: OK ({} bench(es) within threshold, {} improved)",
             out.rows.len(),
-            threshold * 100.0
+            out.improvements.len()
         );
         return;
     }

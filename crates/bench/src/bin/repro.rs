@@ -8,6 +8,8 @@
 //! repro --list                # experiment ids
 //! repro --trace out.json      # capture a Chrome/Perfetto timeline
 //! repro --metrics out.json    # dump fabric counters + CommProfiles
+//! repro --analyze [out.json]  # critical-path bottleneck analysis
+//!                             # (table on stdout; optional JSON file)
 //! repro --manifest out.json   # write the canonical run manifest
 //! repro --checkpoint-dir d    # persist completed sweep points under d/
 //! repro --resume              # skip points already checkpointed
@@ -33,6 +35,21 @@
 //! instants) plus a checkpoint-store lane (save/load activity) —
 //! real executor occupancy next to the simulated timelines.
 //!
+//! `--analyze` records the selected experiments like `--trace` does,
+//! then runs the simulated-time performance analyzer
+//! (`columbia_obs::analysis`) over every captured simulation: the
+//! causal event graph is walked backward from the makespan to extract
+//! the critical path, its length attributed to compute / send /
+//! recv-wait / collective / fault-retransmit per rank and per node,
+//! alongside load-imbalance statistics and the rank-pair communication
+//! matrix. The result prints as one more report on stdout (a table per
+//! simulation naming its bottleneck) and — when a path is given —
+//! exports as a `columbia-analysis-v1` JSON document. Combined with
+//! `--trace`, the timeline gains Perfetto flow arrows threading the
+//! critical path through the rank tracks. The analysis is a pure
+//! function of the deterministic capture, so its output is
+//! byte-identical for every `--jobs` value.
+//!
 //! `--manifest` writes the canonical machine-readable record of the
 //! run (`columbia-run-manifest-v1`): experiments with plan
 //! fingerprints and report content hashes, jobs, resilience options,
@@ -54,9 +71,12 @@ use std::time::{Duration, Instant};
 
 use columbia::experiments::{plan, run_resilient, run_with_jobs, Experiment};
 use columbia::manifest::{self, ManifestBuilder, ResilienceSummary, Volatile};
-use columbia::obs::{chrome_trace_with_host, host, sink};
+use columbia::obs::{
+    analyze, chrome_trace_with_flows, chrome_trace_with_host, host, sink, Analysis, CriticalPath,
+    ANALYSIS_SCHEMA,
+};
 use columbia::par;
-use columbia::{PointStore, ResilienceOptions};
+use columbia::{analysis_report, PointStore, ResilienceOptions};
 use serde_json::Value;
 
 /// Parse `--flag <value>` out of the argument list.
@@ -92,6 +112,13 @@ fn main() {
     let trace_path = flag_value(&args, "--trace");
     let metrics_path = flag_value(&args, "--metrics");
     let manifest_path = flag_value(&args, "--manifest");
+    // `--analyze` takes an *optional* value: alone it prints the
+    // analysis report, with a path it also writes the JSON document.
+    let analyze_to: Option<Option<String>> = args
+        .iter()
+        .position(|a| a == "--analyze")
+        .map(|i| args.get(i + 1).filter(|v| !v.starts_with("--")).cloned());
+    let analyzing = analyze_to.is_some();
     let jobs = match args.iter().position(|a| a == "--jobs") {
         Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
             Some(j) if j >= 1 => j,
@@ -143,7 +170,7 @@ fn main() {
         }
         None => Experiment::ALL.to_vec(),
     };
-    let collecting = trace_path.is_some() || metrics_path.is_some();
+    let collecting = trace_path.is_some() || metrics_path.is_some() || analyzing;
     if collecting {
         sink::install();
     }
@@ -193,6 +220,10 @@ fn main() {
             exp_stats = Some(s);
             // Machine-readable first (one stable line), human text
             // after — scripts grep the prefix, people read the rest.
+            // Emitted from the stats alone, before anything touches
+            // `outcome.report`: a degraded collation (failed points,
+            // collator panic note) or manifest recording must never
+            // suppress or reorder this record.
             let mut rec = Value::object();
             rec.set("schema", Value::String("columbia-sweep-stats-v1".into()));
             rec.set("experiment", Value::String(exp.name().into()));
@@ -239,9 +270,60 @@ fn main() {
     if collecting {
         let bundles = sink::take();
         eprintln!("captured {} simulation(s)", bundles.len());
+        // The analyzer is a pure function of the canonically-ordered
+        // bundles, so everything derived below is identical for every
+        // `--jobs` value.
+        let analyses: Vec<(String, Analysis)> = if analyzing {
+            bundles
+                .iter()
+                .map(|b| (b.label.clone(), analyze(b)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         if let Some(path) = trace_path {
-            let doc = chrome_trace_with_host(&bundles, host_report.as_ref());
+            let doc = if analyzing {
+                // Critical-path hops become Perfetto flow arrows
+                // threading through the rank tracks.
+                let paths: Vec<CriticalPath> = analyses
+                    .iter()
+                    .map(|(_, a)| a.critical_path.clone())
+                    .collect();
+                chrome_trace_with_flows(&bundles, host_report.as_ref(), &paths)
+            } else {
+                chrome_trace_with_host(&bundles, host_report.as_ref())
+            };
             write_or_die(&path, &serde_json::to_string(&doc));
+        }
+        if let Some(json_path) = analyze_to {
+            let report = analysis_report(
+                "Analyze",
+                "critical-path bottleneck attribution per captured simulation",
+                &analyses,
+            );
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                println!("{}", report.to_text());
+            }
+            if let Some(path) = json_path {
+                let mut doc = Value::object();
+                doc.set("schema", Value::String(ANALYSIS_SCHEMA.into()));
+                doc.set(
+                    "sims",
+                    Value::Array(
+                        analyses
+                            .iter()
+                            .map(|(label, a)| {
+                                let mut o = a.to_value();
+                                o.set("label", Value::String(label.clone()));
+                                o
+                            })
+                            .collect(),
+                    ),
+                );
+                write_or_die(&path, &serde_json::to_string_pretty(&doc));
+            }
         }
         if let Some(path) = metrics_path {
             let mut doc = Value::object();

@@ -15,7 +15,10 @@
 //! * a baseline bench missing from the current run is a regression
 //!   outright (a silently-dropped bench must not pass the gate);
 //! * current benches absent from the baseline are reported but never
-//!   gate — new benches land first, get baselined second.
+//!   gate — new benches land first, get baselined second;
+//! * a move past the threshold in the *good* direction is an
+//!   [`Improvement`]: reported (the committed baseline is stale and
+//!   worth refreshing) but always passing.
 //!
 //! Baselines store machine-independent *ratios* (speedups, overhead
 //! percentages), never raw nanoseconds: a CI runner two generations
@@ -92,6 +95,33 @@ impl std::fmt::Display for Regression {
     }
 }
 
+/// One bench that moved past the threshold in the *good* direction —
+/// the baseline is stale and worth refreshing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Improvement {
+    /// Bench name.
+    pub bench: String,
+    /// Committed reference value.
+    pub baseline: f64,
+    /// Value the run under test produced.
+    pub current: f64,
+    /// Fractional change in the good direction (e.g. 0.25 = 25%).
+    pub change: f64,
+}
+
+impl std::fmt::Display for Improvement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} vs baseline {} ({:+.1}% in the good direction — consider refreshing the baseline)",
+            self.bench,
+            self.current,
+            self.baseline,
+            self.change * 100.0
+        )
+    }
+}
+
 /// The gate's verdict plus everything it looked at.
 #[derive(Debug, Clone, Default)]
 pub struct CompareOutcome {
@@ -101,6 +131,9 @@ pub struct CompareOutcome {
     pub trends: Vec<String>,
     /// Current benches with no committed baseline (informational).
     pub unbaselined: Vec<String>,
+    /// Benches past the threshold in the good direction
+    /// (informational — the gate still passes).
+    pub improvements: Vec<Improvement>,
     /// Every gate failure.
     pub regressions: Vec<Regression>,
 }
@@ -240,6 +273,15 @@ pub fn compare(
                 current: cur.value,
                 change,
             });
+        } else if change < -threshold {
+            // Moved just as far the other way: not a failure, but the
+            // committed baseline understates the bench — surface it.
+            out.improvements.push(Improvement {
+                bench: base.bench.clone(),
+                baseline: base.value,
+                current: cur.value,
+                change: -change,
+            });
         }
     }
 
@@ -297,6 +339,37 @@ mod tests {
         assert!(!bad.passed(), "25% slower must fail");
         let faster = compare(&baseline, &[sample("a", "latency", false, 5.0)], 0.2);
         assert!(faster.passed(), "improvement never regresses");
+    }
+
+    #[test]
+    fn improvements_past_the_threshold_are_reported_but_pass() {
+        let baseline = vec![
+            sample("a", "mailbox", true, 1.5),
+            sample("b", "latency", false, 10.0),
+        ];
+        // mailbox up 50% (good for higher-is-better), latency down 40%
+        // (good for lower-is-better): both clear a 20% threshold.
+        let current = vec![
+            sample("a", "mailbox", true, 2.25),
+            sample("b", "latency", false, 6.0),
+        ];
+        let current = {
+            let mut c = current;
+            c[1].primary = "latency".into();
+            c
+        };
+        let out = compare(&baseline, &current, 0.2);
+        assert!(out.passed(), "{:?}", out.regressions);
+        assert_eq!(out.improvements.len(), 2, "{:?}", out.improvements);
+        assert_eq!(out.improvements[0].bench, "mailbox");
+        assert!((out.improvements[0].change - 0.5).abs() < 1e-12);
+        assert_eq!(out.improvements[1].bench, "latency");
+        assert!((out.improvements[1].change - 0.4).abs() < 1e-12);
+        assert!(out.improvements[0].to_string().contains("good direction"));
+        // A move inside the threshold is neither flagged nor improved.
+        let quiet = compare(&baseline[..1], &[sample("a", "mailbox", true, 1.6)], 0.2);
+        assert!(quiet.passed());
+        assert!(quiet.improvements.is_empty());
     }
 
     #[test]

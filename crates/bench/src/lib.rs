@@ -16,5 +16,5 @@
 pub mod compare;
 pub mod record;
 
-pub use compare::{compare, load_dir, BenchSample, CompareOutcome};
+pub use compare::{compare, load_dir, BenchSample, CompareOutcome, Improvement, Regression};
 pub use record::BenchRecord;

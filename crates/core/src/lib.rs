@@ -50,7 +50,7 @@ pub mod sweep;
 
 pub use experiments::{run, run_with_jobs, Experiment};
 pub use manifest::{ManifestBuilder, ResilienceSummary, RunManifest, Volatile};
-pub use obs_report::hotspot_report;
+pub use obs_report::{analysis_report, hotspot_report};
 pub use report::{Report, ReportError};
 pub use store::{PointKey, PointStore, StoreError};
 pub use sweep::{PointError, PointOutput, ResilienceOptions, SweepOutcome, SweepPlan, SweepStats};

@@ -620,6 +620,14 @@ impl SweepPlan {
             for elapsed in &latencies {
                 metrics.observe("sweep.point_seconds", elapsed.as_secs_f64());
             }
+            // Headline latency percentiles, so consumers read the
+            // distribution without re-deriving it from the buckets.
+            if let Some(h) = metrics.histogram("sweep.point_seconds") {
+                let h = h.clone();
+                metrics.gauge("sweep.point_seconds_p50", h.percentile(50.0));
+                metrics.gauge("sweep.point_seconds_p95", h.percentile(95.0));
+                metrics.gauge("sweep.point_seconds_p99", h.percentile(99.0));
+            }
             // Recorded outside any point attribution, so it drains
             // after the sweep's per-point bundles.
             sink::record(TraceBundle {

@@ -12,6 +12,7 @@
 
 use serde_json::Value;
 
+use crate::analysis::CriticalPath;
 use crate::host::{HostReport, HostTrack};
 use crate::sink::TraceBundle;
 use crate::tracer::{SpanEvent, Track};
@@ -128,6 +129,63 @@ pub fn chrome_trace_with_host(bundles: &[TraceBundle], host: Option<&HostReport>
     doc
 }
 
+/// Render `bundles` plus host telemetry plus critical-path flow
+/// events.
+///
+/// `paths[i]` — when present — is the analyzed critical path of
+/// `bundles[i]` (see [`crate::analysis::analyze`]); each cross-rank hop
+/// it traversed becomes a Perfetto flow (`"ph": "s"` at the source
+/// event, `"ph": "f"` at the arrival, shared id, name
+/// `"critical-path"`, category `"cp"`), so the path reads as arrows
+/// threading through the rank tracks. Without `paths` (or with an empty
+/// slice) the output is byte-identical to [`chrome_trace_with_host`].
+pub fn chrome_trace_with_flows(
+    bundles: &[TraceBundle],
+    host: Option<&HostReport>,
+    paths: &[CriticalPath],
+) -> Value {
+    let mut doc = chrome_trace_with_host(bundles, host);
+    let mut flows: Vec<Value> = Vec::new();
+    let mut id = 0usize;
+    for (pid, path) in paths.iter().enumerate().take(bundles.len()) {
+        for hop in &path.hops {
+            if hop.src_rank == hop.dst_rank {
+                continue;
+            }
+            id += 1;
+            let mut s = Value::object();
+            s.set("ph", Value::String("s".into()));
+            s.set("id", Value::Number(id as f64));
+            s.set("name", Value::String("critical-path".into()));
+            s.set("cat", Value::String("cp".into()));
+            s.set("pid", Value::Number(pid as f64));
+            s.set("tid", Value::Number(hop.src_rank as f64));
+            s.set("ts", Value::Number(us(hop.src_time)));
+            flows.push(s);
+            let mut f = Value::object();
+            f.set("ph", Value::String("f".into()));
+            f.set("bp", Value::String("e".into()));
+            f.set("id", Value::Number(id as f64));
+            f.set("name", Value::String("critical-path".into()));
+            f.set("cat", Value::String("cp".into()));
+            f.set("pid", Value::Number(pid as f64));
+            f.set("tid", Value::Number(hop.dst_rank as f64));
+            f.set("ts", Value::Number(us(hop.dst_time)));
+            flows.push(f);
+        }
+    }
+    if flows.is_empty() {
+        return doc;
+    }
+    let Some(Value::Array(all)) = doc.get("traceEvents").cloned() else {
+        return doc;
+    };
+    let mut all = all;
+    all.extend(flows);
+    doc.set("traceEvents", Value::Array(all));
+    doc
+}
+
 /// Render `bundles` as one Chrome trace document.
 ///
 /// Simulation `i` is process `i` (named by its bundle label); rank `r`
@@ -207,6 +265,8 @@ mod tests {
         TraceBundle {
             label: "demo".into(),
             spans,
+            edges: vec![],
+            rank_nodes: vec![],
             metrics: Metrics::new(),
             profile,
         }
@@ -316,6 +376,77 @@ mod tests {
         let plain = serde_json::to_string(&chrome_trace(&[bundle()]));
         let merged = serde_json::to_string(&chrome_trace_with_host(&[bundle()], None));
         assert_eq!(plain, merged);
+    }
+
+    #[test]
+    fn no_paths_is_exactly_the_host_export() {
+        let host = serde_json::to_string(&chrome_trace_with_host(&[bundle()], None));
+        let flows = serde_json::to_string(&chrome_trace_with_flows(&[bundle()], None, &[]));
+        assert_eq!(host, flows);
+    }
+
+    #[test]
+    fn critical_path_hops_render_as_well_formed_flow_pairs() {
+        use crate::analysis::analyze;
+        use crate::tracer::{CausalEdge, EdgeKind, RecordingTracer, Tracer};
+        use std::collections::BTreeMap;
+
+        // Rank 0 computes then sends; rank 1 waits for the message.
+        let mut t = RecordingTracer::new();
+        t.topology(&[0, 1]);
+        t.span(0, SpanKind::Compute, 0.0, 1.0);
+        t.span(0, SpanKind::Send, 1.0, 1.01);
+        t.edge(&CausalEdge {
+            kind: EdgeKind::Message,
+            src_rank: 0,
+            src_time: 1.0,
+            dst_rank: 1,
+            dst_time: 1.2,
+            bytes: 8,
+            wire_time: 0.2,
+            fault_delay: 0.0,
+        });
+        t.span(1, SpanKind::Compute, 0.0, 0.1);
+        t.span(1, SpanKind::RecvWait, 0.1, 1.2);
+        t.span(1, SpanKind::Compute, 1.2, 1.5);
+        let b = t.into_bundle("flow demo");
+        let path = analyze(&b).critical_path;
+        assert!(!path.hops.is_empty());
+
+        let doc = chrome_trace_with_flows(&[b], None, std::slice::from_ref(&path));
+        let parsed = serde_json::from_str(&serde_json::to_string(&doc)).unwrap();
+        let events = parsed.get("traceEvents").and_then(Value::as_array).unwrap();
+        // Group flow events by id: each id appears exactly twice, as an
+        // "s"/"f" pair with matching name and category, timestamps
+        // inside the path's time range, and tids on the hop's ranks.
+        let mut by_id: BTreeMap<u64, Vec<&Value>> = BTreeMap::new();
+        for e in events {
+            let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+            if ph == "s" || ph == "f" {
+                let id = e.get("id").and_then(Value::as_f64).expect("flow id") as u64;
+                by_id.entry(id).or_default().push(e);
+            }
+        }
+        assert_eq!(by_id.len(), path.hops.len());
+        for (id, pair) in &by_id {
+            assert_eq!(pair.len(), 2, "flow id {id} must have an s/f pair");
+            assert_eq!(pair[0].get("ph").and_then(Value::as_str), Some("s"));
+            assert_eq!(pair[1].get("ph").and_then(Value::as_str), Some("f"));
+            assert_eq!(pair[1].get("bp").and_then(Value::as_str), Some("e"));
+            for e in pair {
+                assert_eq!(e.get("name").and_then(Value::as_str), Some("critical-path"));
+                assert_eq!(e.get("cat").and_then(Value::as_str), Some("cp"));
+                let ts = e.get("ts").and_then(Value::as_f64).unwrap();
+                assert!((0.0..=1.5e6).contains(&ts));
+            }
+            let s_ts = pair[0].get("ts").and_then(Value::as_f64).unwrap();
+            let f_ts = pair[1].get("ts").and_then(Value::as_f64).unwrap();
+            assert!(s_ts <= f_ts, "flow start precedes its finish");
+        }
+        // The one hop's flow binds rank 0's track to rank 1's.
+        let pair = by_id.values().next().unwrap();
+        assert_eq!(pair[0].get("tid").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(pair[1].get("tid").and_then(Value::as_f64), Some(1.0));
     }
 
     #[test]

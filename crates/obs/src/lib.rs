@@ -19,6 +19,11 @@
 //!   collectives, the natural epochs of the simulated workloads) —
 //!   the simulator's analogue of the paper's Table 4-style
 //!   attribution.
+//! * [`analysis`] — the simulated-time performance analyzer: the
+//!   recorded causal event graph (spans + happens-before edges) turned
+//!   into a critical path with per-category bottleneck attribution,
+//!   load-imbalance statistics, and a rank-pair communication matrix
+//!   (`repro --analyze`, schema `columbia-analysis-v1`).
 //! * [`chrome`] — export a set of recorded simulations as Chrome
 //!   trace-event JSON, loadable in Perfetto (`ui.perfetto.dev`) or
 //!   `chrome://tracing`, one track per rank.
@@ -39,6 +44,7 @@
 //!
 //! [`SimOutcome`]: https://docs.rs/columbia-simnet
 
+pub mod analysis;
 pub mod chrome;
 pub mod host;
 pub mod metrics;
@@ -46,9 +52,16 @@ pub mod profile;
 pub mod sink;
 pub mod tracer;
 
-pub use chrome::{chrome_trace, chrome_trace_with_host};
+pub use analysis::{
+    analyze, Analysis, Breakdown, Category, CommPair, CriticalPath, Imbalance, PathSegment,
+    ANALYSIS_SCHEMA,
+};
+pub use chrome::{chrome_trace, chrome_trace_with_flows, chrome_trace_with_host};
 pub use host::{HostReport, HostSpan, HostTrack};
 pub use metrics::{Histogram, Metrics};
 pub use profile::{CommProfile, PhaseProfile, RankProfile};
 pub use sink::TraceBundle;
-pub use tracer::{MessageRecord, NullTracer, RecordingTracer, SpanEvent, SpanKind, Tracer, Track};
+pub use tracer::{
+    CausalEdge, EdgeKind, MessageRecord, NullTracer, RecordingTracer, SpanEvent, SpanKind, Tracer,
+    Track,
+};

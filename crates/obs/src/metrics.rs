@@ -128,6 +128,53 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `p`-th percentile (0–100) of the observations.
+    ///
+    /// Uses the nearest-rank target within the decade buckets, linearly
+    /// interpolated across the bucket that holds it: exact at the
+    /// extremes (`p = 0` → min, `p = 100` → max), decade-resolution in
+    /// between — the right fidelity for "where did the tail go"
+    /// summaries without storing every sample. Returns 0 when empty;
+    /// estimates are clamped to `[min, max]` so a sparse bucket can
+    /// never report a value outside the observed range.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // The k-th smallest observation, k in [1, count]. The first and
+        // last ranks are the observed extrema exactly.
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if target <= 1 {
+            return self.min;
+        }
+        if target >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                // Bucket i spans [bound(i-1), bound(i)); the edge
+                // buckets borrow the observed extrema as their open
+                // ends.
+                let lo = if i == 0 {
+                    self.min
+                } else {
+                    Self::bucket_bound(i - 1).unwrap_or(self.min).max(self.min)
+                };
+                let hi = Self::bucket_bound(i).unwrap_or(self.max).min(self.max);
+                let hi = hi.max(lo);
+                let frac = (target - seen) as f64 / c as f64;
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max()
+    }
+
     /// Render as JSON: count, sum, mean, min, max, non-empty buckets.
     pub fn to_value(&self) -> Value {
         let mut v = Value::object();
@@ -360,6 +407,49 @@ mod tests {
         assert_eq!(h.mean(), 2.0);
         assert_eq!(h.min(), 1.0);
         assert_eq!(h.max(), 3.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero_and_extremes_are_exact() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0.0);
+        let mut h = Histogram::default();
+        for v in [1e-6, 3e-6, 9e-6, 2e-3, 7.0] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 1e-6, "p0 is the minimum");
+        assert_eq!(h.percentile(100.0), 7.0, "p100 is the maximum");
+        // Out-of-range p clamps instead of extrapolating.
+        assert_eq!(h.percentile(-5.0), 1e-6);
+        assert_eq!(h.percentile(250.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bucket_accurate() {
+        let mut h = Histogram::default();
+        // 90 observations in the [1e-5, 1e-4) decade, 10 in [1e-1, 1).
+        for i in 0..90 {
+            h.record(2e-5 + i as f64 * 1e-7);
+        }
+        for _ in 0..10 {
+            h.record(0.5);
+        }
+        let p50 = h.percentile(50.0);
+        let p95 = h.percentile(95.0);
+        let p99 = h.percentile(99.0);
+        assert!(
+            p50 >= h.min() && p50 < 1e-4,
+            "p50 in the bulk decade: {p50}"
+        );
+        assert!((1e-1..=0.5).contains(&p95), "p95 in the tail decade: {p95}");
+        assert!(p99 >= p95, "percentiles are monotone");
+        assert!(p95 >= p50);
+        // A single-valued histogram reports that value at every p.
+        let mut one = Histogram::default();
+        one.record(42.0);
+        for p in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(one.percentile(p), 42.0);
+        }
     }
 
     #[test]

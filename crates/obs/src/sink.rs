@@ -37,7 +37,7 @@ use std::sync::Mutex;
 
 use crate::metrics::Metrics;
 use crate::profile::CommProfile;
-use crate::tracer::SpanEvent;
+use crate::tracer::{CausalEdge, SpanEvent};
 
 /// Everything recorded about one simulation.
 #[derive(Debug, Clone, Default)]
@@ -46,6 +46,11 @@ pub struct TraceBundle {
     pub label: String,
     /// The span stream, in emission order.
     pub spans: Vec<SpanEvent>,
+    /// The causal happens-before edges, in emission order.
+    pub edges: Vec<CausalEdge>,
+    /// Node of each rank (`rank_nodes[r]` is rank `r`'s node), empty
+    /// for bundles without a recorded placement.
+    pub rank_nodes: Vec<u32>,
     /// Aggregated counters/histograms.
     pub metrics: Metrics,
     /// The compute/comm/wait attribution.

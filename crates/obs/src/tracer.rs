@@ -128,6 +128,57 @@ impl MessageRecord {
     }
 }
 
+/// What kind of happens-before dependency a [`CausalEdge`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// A point-to-point delivery: the receiver's clock cannot pass
+    /// `dst_time` until the sender posted at `src_time`.
+    Message,
+    /// A collective release: every participant leaves together, gated
+    /// by the straggler (or the root, for a broadcast) at `src_time`.
+    Collective,
+}
+
+impl EdgeKind {
+    /// Stable lowercase name (JSON export).
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeKind::Message => "message",
+            EdgeKind::Collective => "collective",
+        }
+    }
+}
+
+/// One happens-before edge of the causal event graph.
+///
+/// `dst_time` is bit-exact with the end of the CPU span the dependency
+/// produced on the destination rank (both are the same computed `f64`),
+/// so an analyzer can join edges to spans by `(dst_rank,
+/// dst_time.to_bits())` without tolerance windows. Intra-rank program
+/// order needs no edges — the CPU spans tile each rank's timeline, so
+/// adjacency *is* the program-order edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CausalEdge {
+    /// The dependency's kind.
+    pub kind: EdgeKind,
+    /// Rank the dependency originates on (sender / straggler / root).
+    pub src_rank: usize,
+    /// Source-side event time: message post, or collective start.
+    pub src_time: f64,
+    /// Rank whose progress the dependency gates.
+    pub dst_rank: usize,
+    /// Destination-side event time: message arrival, or collective
+    /// finish on `dst_rank`.
+    pub dst_time: f64,
+    /// Payload bytes (per-pair bytes for collectives).
+    pub bytes: u64,
+    /// Fault-free wire/operation cost inside `dst_time - src_time`.
+    pub wire_time: f64,
+    /// Fault-injected delay (retransmit backoff + multiplex queuing)
+    /// inside `dst_time - src_time`, always at its tail.
+    pub fault_delay: f64,
+}
+
 /// Instrumentation hooks the simulation engine calls.
 ///
 /// All hooks default to no-ops; implementations override what they
@@ -157,6 +208,19 @@ pub trait Tracer {
     fn gauge(&mut self, name: &'static str, value: f64) {
         let _ = (name, value);
     }
+
+    /// One happens-before edge of the causal event graph.
+    #[inline]
+    fn edge(&mut self, edge: &CausalEdge) {
+        let _ = edge;
+    }
+
+    /// The run's placement: `rank_nodes[r]` is rank `r`'s node. Called
+    /// once, before any span or edge.
+    #[inline]
+    fn topology(&mut self, rank_nodes: &[u32]) {
+        let _ = rank_nodes;
+    }
 }
 
 /// The disabled tracer: every hook is an empty inlined function, so a
@@ -178,6 +242,12 @@ impl Tracer for NullTracer {
 
     #[inline(always)]
     fn gauge(&mut self, _: &'static str, _: f64) {}
+
+    #[inline(always)]
+    fn edge(&mut self, _: &CausalEdge) {}
+
+    #[inline(always)]
+    fn topology(&mut self, _: &[u32]) {}
 }
 
 /// Captures the full event stream of a simulation.
@@ -189,6 +259,10 @@ impl Tracer for NullTracer {
 pub struct RecordingTracer {
     /// Every span, in emission order.
     pub spans: Vec<SpanEvent>,
+    /// Every causal edge, in emission order.
+    pub edges: Vec<CausalEdge>,
+    /// Node of each rank, as reported by [`Tracer::topology`].
+    pub rank_nodes: Vec<u32>,
     /// Aggregated counters and histograms.
     pub metrics: Metrics,
     n_ranks: usize,
@@ -221,6 +295,8 @@ impl RecordingTracer {
         crate::TraceBundle {
             label: label.into(),
             spans: self.spans,
+            edges: self.edges,
+            rank_nodes: self.rank_nodes,
             metrics: self.metrics,
             profile,
         }
@@ -262,6 +338,16 @@ impl Tracer for RecordingTracer {
     fn gauge(&mut self, name: &'static str, value: f64) {
         self.metrics.gauge(name, value);
     }
+
+    fn edge(&mut self, edge: &CausalEdge) {
+        self.n_ranks = self.n_ranks.max(edge.src_rank.max(edge.dst_rank) + 1);
+        self.edges.push(*edge);
+    }
+
+    fn topology(&mut self, rank_nodes: &[u32]) {
+        self.rank_nodes = rank_nodes.to_vec();
+        self.n_ranks = self.n_ranks.max(rank_nodes.len());
+    }
 }
 
 /// Forwarding impl so engine entry points can take `&mut T`.
@@ -284,6 +370,16 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
     #[inline]
     fn gauge(&mut self, name: &'static str, value: f64) {
         (**self).gauge(name, value)
+    }
+
+    #[inline]
+    fn edge(&mut self, edge: &CausalEdge) {
+        (**self).edge(edge)
+    }
+
+    #[inline]
+    fn topology(&mut self, rank_nodes: &[u32]) {
+        (**self).topology(rank_nodes)
     }
 }
 
@@ -323,6 +419,30 @@ mod tests {
         assert_eq!(t.metrics.counter("retransmits"), 2);
         assert_eq!(t.metrics.counter("bytes_sent"), 4096);
         assert_eq!(t.rank_spans(1).count(), 1);
+    }
+
+    #[test]
+    fn recording_tracer_captures_edges_and_topology() {
+        let mut t = RecordingTracer::new();
+        t.topology(&[0, 0, 1]);
+        t.edge(&CausalEdge {
+            kind: EdgeKind::Message,
+            src_rank: 0,
+            src_time: 0.0,
+            dst_rank: 2,
+            dst_time: 1.5e-5,
+            bytes: 4096,
+            wire_time: 1.5e-5,
+            fault_delay: 0.0,
+        });
+        assert_eq!(t.rank_nodes, vec![0, 0, 1]);
+        assert_eq!(t.edges.len(), 1);
+        assert_eq!(t.n_ranks(), 3);
+        let bundle = t.into_bundle("demo");
+        assert_eq!(bundle.edges.len(), 1);
+        assert_eq!(bundle.rank_nodes, vec![0, 0, 1]);
+        assert_eq!(bundle.edges[0].kind.name(), "message");
+        assert_eq!(EdgeKind::Collective.name(), "collective");
     }
 
     #[test]

@@ -45,7 +45,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use columbia_machine::cluster::CpuId;
-use columbia_obs::{MessageRecord, NullTracer, SpanKind, Tracer};
+use columbia_obs::{CausalEdge, EdgeKind, MessageRecord, NullTracer, SpanKind, Tracer};
 
 use crate::collectives;
 use crate::error::{DeadlockReport, PendingOp, SimError};
@@ -324,8 +324,12 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
         });
     }
     let (mux_delay, oversubscription) = connection_check(cpus, plan)?;
-    if tracer.enabled() && plan.connection_limit.is_some() {
-        tracer.gauge("connection_occupancy", oversubscription);
+    if tracer.enabled() {
+        let rank_nodes: Vec<u32> = cpus.iter().map(|c| c.node.0).collect();
+        tracer.topology(&rank_nodes);
+        if plan.connection_limit.is_some() {
+            tracer.gauge("connection_occupancy", oversubscription);
+        }
     }
     // Statically typed: when `F` is a concrete fabric the cost calls
     // below inline; the `dyn` entry points land here with `F = dyn
@@ -431,6 +435,19 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
                 drops,
                 retransmit_delay,
                 multiplex_delay: if muxed { mux_delay } else { 0.0 },
+            });
+            // `arrival` here and the receiver's RecvWait span end are
+            // the same computed f64, so the analyzer joins them
+            // bit-exactly.
+            tracer.edge(&CausalEdge {
+                kind: EdgeKind::Message,
+                src_rank: r,
+                src_time: posted,
+                dst_rank: to,
+                dst_time: arrival,
+                bytes,
+                wire_time: cost,
+                fault_delay: retransmit_delay + if muxed { mux_delay } else { 0.0 },
             });
         }
     };
@@ -556,6 +573,31 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
                         };
                         let end = start + cost;
                         coll_count = 0;
+                        // Causal source of the release: the straggler
+                        // whose arrival set `start` (lowest rank on
+                        // ties), or the root for a broadcast.
+                        let (coll_src, coll_bytes) = if tracer.enabled() {
+                            let src = match op {
+                                Op::Bcast { root, .. } => root,
+                                _ => {
+                                    let mut src = 0usize;
+                                    for (i, s) in states.iter().enumerate() {
+                                        if s.clock > states[src].clock {
+                                            src = i;
+                                        }
+                                    }
+                                    src
+                                }
+                            };
+                            let bytes = match op {
+                                Op::AllReduce { bytes } | Op::Bcast { bytes, .. } => bytes,
+                                Op::AllToAll { bytes_per_pair } => bytes_per_pair,
+                                _ => 0,
+                            };
+                            (src, bytes)
+                        } else {
+                            (0, 0)
+                        };
                         for (i, s) in states.iter_mut().enumerate() {
                             // `done == end` except under a broadcast,
                             // where a rank already past the root-driven
@@ -563,6 +605,16 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
                             let done = s.clock.max(end);
                             if tracer.enabled() && done > s.clock {
                                 tracer.span(i, SpanKind::Collective, s.clock, done);
+                                tracer.edge(&CausalEdge {
+                                    kind: EdgeKind::Collective,
+                                    src_rank: coll_src,
+                                    src_time: start,
+                                    dst_rank: i,
+                                    dst_time: done,
+                                    bytes: coll_bytes,
+                                    wire_time: cost,
+                                    fault_delay: 0.0,
+                                });
                             }
                             s.comm += done - s.clock;
                             s.clock = done;
@@ -1232,6 +1284,68 @@ mod tests {
                 rank.total
             );
         }
+    }
+
+    #[test]
+    fn causal_edges_join_spans_bit_exactly() {
+        use columbia_obs::EdgeKind;
+        let progs = mixed_progs(8);
+        let plan = FaultPlan::with_drops(7, 0.3);
+        let mut tracer = RecordingTracer::new();
+        let out = simulate_traced(&progs, &place(8), &fabric(), &plan, &mut tracer).unwrap();
+        // Placement is recorded for every rank.
+        assert_eq!(tracer.rank_nodes.len(), 8);
+        // Every blocking span's end is the arrival/release time of
+        // exactly the edge that caused it — the analyzer joins on the
+        // raw f64 bits, so the match must be exact, not approximate.
+        for s in &tracer.spans {
+            let want = match s.kind {
+                SpanKind::RecvWait => EdgeKind::Message,
+                SpanKind::Collective => EdgeKind::Collective,
+                _ => continue,
+            };
+            assert!(
+                tracer.edges.iter().any(|e| e.kind == want
+                    && e.dst_rank == s.rank
+                    && e.dst_time.to_bits() == s.end.to_bits()),
+                "no {want:?} edge arriving at rank {} t={} (bits) for span {s:?}",
+                s.rank,
+                s.end
+            );
+        }
+        // One message edge per delivered message, each carrying its
+        // payload and a nonnegative fault tail bounded by the hop.
+        let messages: Vec<_> = tracer
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Message)
+            .collect();
+        assert_eq!(
+            messages.len() as u64,
+            tracer.metrics.counter("messages_sent")
+        );
+        for e in &messages {
+            assert!(e.bytes > 0);
+            assert!(e.wire_time > 0.0);
+            assert!(e.fault_delay >= 0.0);
+            assert!(e.src_time < e.dst_time);
+        }
+        assert!(
+            messages.iter().any(|e| e.fault_delay > 0.0),
+            "the drop plan must surface as fault delay on some edge"
+        );
+        // And the analyzer closes the loop: the extracted critical
+        // path accounts for the whole makespan.
+        let analysis = columbia_obs::analyze(&tracer.into_bundle("join test"));
+        let cp = &analysis.critical_path;
+        assert!(!cp.truncated);
+        assert!(
+            (cp.total - out.makespan).abs() < 1e-9 * out.makespan.max(1.0),
+            "critical path covers {} of makespan {}",
+            cp.total,
+            out.makespan
+        );
+        assert!(cp.breakdown.fault_retransmit > 0.0);
     }
 
     #[test]
