@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Deliberate-typo smoke test for the spec frontend: a spec with a
+# misspelled key must be rejected (exit 2) with a positioned
+# unknown-key diagnostic whose suggestion names the intended key.
+# Proves the CLI surfaces SpecError the way the corpus pins it.
+#
+# Usage: ci/spec_typo_smoke.sh [path-to-repro]
+set -euo pipefail
+
+repro="${1:-./target/release/repro}"
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+sed 's/^row = /rwo = /' specs/dgemm-stream.toml > "$dir/typo.toml"
+grep -q '^rwo = ' "$dir/typo.toml" || {
+    echo "typo injection produced no 'rwo' key; did the spec change shape?" >&2
+    exit 1
+}
+
+set +e
+out="$("$repro" --spec "$dir/typo.toml" 2>&1)"
+status=$?
+set -e
+
+if [ "$status" -ne 2 ]; then
+    echo "expected exit 2 for a malformed spec, got $status" >&2
+    echo "output: $out" >&2
+    exit 1
+fi
+echo "$out" | grep -F "unknown key 'rwo'" > /dev/null || {
+    echo "diagnostic does not name the offending key: $out" >&2
+    exit 1
+}
+echo "$out" | grep -F "did you mean 'row'?" > /dev/null || {
+    echo "diagnostic carries no suggestion: $out" >&2
+    exit 1
+}
+echo "$out" | grep -E 'typo\.toml:[0-9]+:[0-9]+:' > /dev/null || {
+    echo "diagnostic carries no file:line:col position: $out" >&2
+    exit 1
+}
+echo "typo smoke passed: $out"

@@ -3,6 +3,7 @@
 //! ```text
 //! repro                       # run everything
 //! repro --exp table2          # one experiment
+//! repro --spec specs/f.toml   # a declarative sweep spec (repeatable)
 //! repro --jobs 4              # fan sweep points across 4 threads
 //! repro --json                # machine-readable output
 //! repro --list                # experiment ids
@@ -16,6 +17,18 @@
 //! repro --point-deadline 30   # abandon any point running >30s (wall clock)
 //! repro --max-retries 2       # retry panicked/timed-out points twice
 //! ```
+//!
+//! `--spec file.toml` compiles a declarative sweep spec (`core::spec`,
+//! language reference in DESIGN.md §14) into a plan and runs it in
+//! place of a hard-coded experiment. The flag repeats; it is mutually
+//! exclusive with `--exp`. Everything downstream composes unchanged:
+//! `--jobs`, the resilience flags (checkpoints key on the spec's file
+//! stem), `--trace`/`--metrics`/`--analyze`, and `--manifest` — whose
+//! entry for a spec run gains a stable `spec` object carrying the
+//! FNV-128 content hash of the spec bytes and the resolved point
+//! count. A spec that fails to parse or validate prints one
+//! `path:line:col: message` diagnostic (with a "did you mean" hint for
+//! unknown keys) and exits 2, before anything runs.
 //!
 //! `--jobs N` runs each experiment's sweep points on an N-thread
 //! work-stealing pool (default: the machine's available parallelism;
@@ -69,13 +82,14 @@
 
 use std::time::{Duration, Instant};
 
-use columbia::experiments::{plan, run_resilient, run_with_jobs, Experiment};
+use columbia::experiments::{failure_report, plan, Experiment};
 use columbia::manifest::{self, ManifestBuilder, ResilienceSummary, Volatile};
 use columbia::obs::{
     analyze, chrome_trace_with_flows, chrome_trace_with_host, host, sink, Analysis, CriticalPath,
     ANALYSIS_SCHEMA,
 };
 use columbia::par;
+use columbia::spec::{load_and_compile, spec_hash};
 use columbia::{analysis_report, PointStore, ResilienceOptions};
 use serde_json::Value;
 
@@ -88,6 +102,71 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
             eprintln!("{flag} requires a value");
             std::process::exit(2);
         }
+    }
+}
+
+/// Parse every occurrence of `--flag <value>` (for repeatable flags).
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => out.push(v.clone()),
+                _ => {
+                    eprintln!("{flag} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One unit of work: a named sweep plan, either a hard-coded
+/// experiment or a compiled `--spec` file (which carries its content
+/// hash for the manifest).
+struct Job {
+    name: String,
+    plan: columbia::SweepPlan,
+    spec_content_hash: Option<String>,
+}
+
+/// Compile one `--spec` file into a job, or print the typed diagnostic
+/// (`path:line:col: message`, with "did you mean" hints for unknown
+/// keys) and exit 2 — same contract as any other bad command line,
+/// before anything runs.
+fn spec_job(path_str: &str) -> Job {
+    let path = std::path::Path::new(path_str);
+    let plan = load_and_compile(path).unwrap_or_else(|e| {
+        if e.position().is_some() {
+            // `SpecError` displays as `line:col: message`; prefix the
+            // file so the diagnostic is jump-to-able.
+            eprintln!("{path_str}:{e}");
+        } else {
+            eprintln!("{e}");
+        }
+        std::process::exit(2);
+    });
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("{path_str}: {e}");
+        std::process::exit(2);
+    });
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path_str.to_string());
+    Job {
+        name,
+        plan,
+        spec_content_hash: Some(spec_hash(&bytes)),
+    }
+}
+
+fn exp_job(exp: Experiment) -> Job {
+    Job {
+        name: exp.name().to_string(),
+        plan: plan(exp),
+        spec_content_hash: None,
     }
 }
 
@@ -154,21 +233,33 @@ fn main() {
     let resilient =
         checkpoint_dir.is_some() || resume || point_deadline.is_some() || max_retries.is_some();
 
-    let selected: Vec<Experiment> = match args.iter().position(|a| a == "--exp") {
-        Some(i) => {
-            let name = args.get(i + 1).unwrap_or_else(|| {
-                eprintln!("--exp requires an experiment id (see --list)");
-                std::process::exit(2);
-            });
-            match Experiment::parse(name) {
-                Some(e) => vec![e],
-                None => {
-                    eprintln!("unknown experiment '{name}' (see --list)");
+    let spec_paths = flag_values(&args, "--spec");
+    let exp_arg = args.iter().position(|a| a == "--exp");
+    if exp_arg.is_some() && !spec_paths.is_empty() {
+        eprintln!("--exp and --spec are mutually exclusive (a spec *is* the experiment)");
+        std::process::exit(2);
+    }
+    // Compile every spec before running anything: a typo in the third
+    // spec should not cost the first two's simulation time.
+    let selected: Vec<Job> = if !spec_paths.is_empty() {
+        spec_paths.iter().map(|p| spec_job(p)).collect()
+    } else {
+        match exp_arg {
+            Some(i) => {
+                let name = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("--exp requires an experiment id (see --list)");
                     std::process::exit(2);
+                });
+                match Experiment::parse(name) {
+                    Some(e) => vec![exp_job(e)],
+                    None => {
+                        eprintln!("unknown experiment '{name}' (see --list)");
+                        std::process::exit(2);
+                    }
                 }
             }
+            None => Experiment::ALL.iter().copied().map(exp_job).collect(),
         }
-        None => Experiment::ALL.to_vec(),
     };
     let collecting = trace_path.is_some() || metrics_path.is_some() || analyzing;
     if collecting {
@@ -194,13 +285,20 @@ fn main() {
         )
     });
     let mut failed_points = 0usize;
-    for exp in selected {
+    for job in selected {
+        let Job {
+            name,
+            plan: sweep_plan,
+            spec_content_hash,
+        } = job;
+        let fingerprint = sweep_plan.fingerprint();
+        let points = sweep_plan.len();
         let mut exp_stats = None;
         let report = if resilient {
-            // One store subdirectory per experiment, so different
-            // experiments' entries never share a namespace on disk.
+            // One store subdirectory per experiment (or spec stem), so
+            // different plans' entries never share a namespace on disk.
             let store = checkpoint_dir.as_ref().map(|dir| {
-                let path = std::path::Path::new(dir).join(exp.name());
+                let path = std::path::Path::new(dir).join(&name);
                 PointStore::open(path).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     std::process::exit(1);
@@ -211,9 +309,10 @@ fn main() {
                 max_retries: max_retries.unwrap_or(0),
                 store,
                 resume,
+                experiment: Some(name.clone()),
                 ..ResilienceOptions::default()
             };
-            let outcome = run_resilient(exp, jobs, opts);
+            let outcome = sweep_plan.run_resilient_with_jobs(jobs, opts);
             // Stats are stderr-only: stdout must stay byte-identical
             // to a plain run so resume can be diffed against goldens.
             let s = outcome.stats;
@@ -226,16 +325,12 @@ fn main() {
             // suppress or reorder this record.
             let mut rec = Value::object();
             rec.set("schema", Value::String("columbia-sweep-stats-v1".into()));
-            rec.set("experiment", Value::String(exp.name().into()));
+            rec.set("experiment", Value::String(name.clone()));
             rec.set("stats", s.to_value());
             eprintln!("SWEEP JSON {}", serde_json::to_string(&rec));
             eprintln!(
                 "{}: {} point(s), {} resumed, {} retried, {} failed",
-                exp.name(),
-                s.points,
-                s.resumed,
-                s.retries,
-                s.failed
+                name, s.points, s.resumed, s.retries, s.failed
             );
             for failure in &outcome.failures {
                 eprintln!("  {failure}");
@@ -246,17 +341,28 @@ fn main() {
             failed_points += s.failed;
             outcome.report
         } else {
-            run_with_jobs(exp, jobs)
+            sweep_plan
+                .run_with_jobs(jobs)
+                .unwrap_or_else(|err| failure_report(&name, &err))
         };
         if let Some(builder) = manifest_builder.as_mut() {
-            let p = plan(exp);
-            builder.record_experiment(
-                exp.name(),
-                p.fingerprint(),
-                p.len(),
-                &report,
-                exp_stats.as_ref(),
-            );
+            match &spec_content_hash {
+                Some(h) => builder.record_spec_experiment(
+                    &name,
+                    fingerprint,
+                    points,
+                    &report,
+                    exp_stats.as_ref(),
+                    h,
+                ),
+                None => builder.record_experiment(
+                    &name,
+                    fingerprint,
+                    points,
+                    &report,
+                    exp_stats.as_ref(),
+                ),
+            }
         }
         if json {
             println!("{}", report.to_json());

@@ -184,7 +184,7 @@ pub fn try_run(exp: Experiment) -> Result<Report, SimError> {
 /// sweeps always produce output. Bit-identical to [`run`] for any
 /// `jobs` (the determinism property the test suite asserts).
 pub fn run_with_jobs(exp: Experiment, jobs: usize) -> Report {
-    try_run_with_jobs(exp, jobs).unwrap_or_else(|err| failure_report(exp, &err))
+    try_run_with_jobs(exp, jobs).unwrap_or_else(|err| failure_report(exp.name(), &err))
 }
 
 /// Run one experiment serially; a failed simulation becomes a
@@ -208,10 +208,12 @@ pub fn run_resilient(exp: Experiment, jobs: usize, mut opts: ResilienceOptions) 
 }
 
 /// Render a [`SimError`] as a report so failures are first-class
-/// experiment output (stuck ranks, exhausted connections, …).
-fn failure_report(exp: Experiment, err: &SimError) -> Report {
+/// experiment output (stuck ranks, exhausted connections, …). Public
+/// because `repro --spec` degrades a failed spec-built plan the same
+/// way (with the spec's file stem as the report id).
+pub fn failure_report(name: &str, err: &SimError) -> Report {
     let mut r = Report::new(
-        exp.name(),
+        name,
         "simulation failed — structured diagnosis",
         &["diagnostic"],
     );
@@ -222,33 +224,39 @@ fn failure_report(exp: Experiment, err: &SimError) -> Report {
     r
 }
 
+/// The Table 1 point: zipped node-characteristics rows plus the
+/// cluster-shape note. Shared by the hard-coded plan and `core::spec`'s
+/// `kind = "table1"` so both render byte-identical output by
+/// construction.
+pub(crate) fn table1_output() -> PointOutput {
+    let mut out = PointOutput::default();
+    let nodes: Vec<_> = NodeKind::ALL
+        .iter()
+        .map(|&k| NodeModel::new(k).table1_row())
+        .collect();
+    for ((a, b), c) in nodes[0].iter().zip(&nodes[1]).zip(&nodes[2]) {
+        out.rows
+            .push(vec![a.0.to_string(), a.1.clone(), b.1.clone(), c.1.clone()]);
+    }
+    let c = ClusterConfig::columbia();
+    out.with_note(format!(
+        "cluster: {} nodes, {} CPUs total; pure MPI fully usable on up to {} nodes",
+        c.nodes.len(),
+        c.total_cpus(),
+        (2..8)
+            .take_while(|&n| c.pure_mpi_fully_usable(n))
+            .last()
+            .unwrap_or(1)
+    ))
+}
+
 fn table1_plan() -> SweepPlan {
     let mut plan = SweepPlan::new(
         "Table 1",
         "Characteristics of the two types of Altix nodes used in Columbia",
         &["Characteristic", "3700", "BX2a", "BX2b"],
     );
-    plan.point_ok(|| {
-        let mut out = PointOutput::default();
-        let nodes: Vec<_> = NodeKind::ALL
-            .iter()
-            .map(|&k| NodeModel::new(k).table1_row())
-            .collect();
-        for ((a, b), c) in nodes[0].iter().zip(&nodes[1]).zip(&nodes[2]) {
-            out.rows
-                .push(vec![a.0.to_string(), a.1.clone(), b.1.clone(), c.1.clone()]);
-        }
-        let c = ClusterConfig::columbia();
-        out.with_note(format!(
-            "cluster: {} nodes, {} CPUs total; pure MPI fully usable on up to {} nodes",
-            c.nodes.len(),
-            c.total_cpus(),
-            (2..8)
-                .take_while(|&n| c.pure_mpi_fully_usable(n))
-                .last()
-                .unwrap_or(1)
-        ))
-    });
+    plan.point_ok(table1_output);
     plan
 }
 
@@ -888,79 +896,118 @@ fn degraded_plan() -> SweepPlan {
 /// captured by a [`RecordingTracer`] and rendered as the top-N hotspot
 /// table. `repro --exp trace --trace t.json --metrics m.json` exports
 /// the same run as a Perfetto-loadable timeline and counter dump.
+/// Parameters of one traced-exchange demo run — the `trace`
+/// experiment's shape, exposed so `core::spec`'s `kind = "trace"` can
+/// drive the identical code path with spec-supplied values.
+#[derive(Debug, Clone)]
+pub(crate) struct TraceParams {
+    /// Report id (feeds the hotspot table header).
+    pub id: String,
+    /// Report title.
+    pub title: String,
+    /// SPMD ranks.
+    pub ranks: usize,
+    /// Node count (BX2b, InfiniBand between them).
+    pub nodes: u32,
+    /// Seeded per-message drop probability.
+    pub drop_prob: f64,
+    /// Fault seed.
+    pub seed: u64,
+    /// Iterations of the work/exchange/allreduce loop.
+    pub iters: u32,
+    /// Hotspot rows to keep (top-N by wait time).
+    pub top: usize,
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        TraceParams {
+            id: "Trace".into(),
+            title: "hotspots of an imbalanced 16-rank exchange over 2 nodes (InfiniBand, 5% drops)"
+                .into(),
+            ranks: 16,
+            nodes: 2,
+            drop_prob: 0.05,
+            seed: DEGRADED_SEED,
+            iters: 3,
+            top: 8,
+        }
+    }
+}
+
+/// One traced-exchange point: build the skewed workload, run it under a
+/// [`RecordingTracer`], and render the top-N hotspot table.
+pub(crate) fn trace_output(p: &TraceParams) -> Result<PointOutput, SimError> {
+    let n = p.ranks;
+    let cluster = ClusterConfig::uniform(NodeKind::Bx2b, p.nodes);
+    let nodes: Vec<NodeId> = (0..p.nodes).map(NodeId).collect();
+    // Cap each node at ranks/nodes so the exchange partners
+    // (r <-> r + ranks/2) straddle the inter-node link.
+    let cap = n.div_ceil(p.nodes as usize) as u32;
+    let placement = Placement::new(&cluster, &nodes, n, 1, PlacementStrategy::DenseCapped(cap));
+    let mut spec = WorkloadSpec::with_ranks(n);
+    for (r, prog) in spec.ranks.iter_mut().enumerate() {
+        let partner = (r + n / 2) % n;
+        for _iter in 0..p.iters {
+            // Linear compute skew: the last rank does ~2x rank 0's work,
+            // so the early ranks pile up wait time at the collectives.
+            prog.push(SpecOp::Work(WorkPhase::new(
+                1.0e9 * (1.0 + r as f64 / (n - 1) as f64),
+                1.0e8,
+                1 << 20,
+                0.2,
+                KernelClass::BlockSolver,
+            )));
+            prog.push(SpecOp::Exchange {
+                with: partner,
+                bytes: 1 << 20,
+                tag: r.min(partner) as u64,
+            });
+            prog.push(SpecOp::AllReduce { bytes: 64 });
+        }
+    }
+    // Seeded drops (software-level timeout, as in the degraded
+    // experiment) so the trace shows retransmit backoff on the net
+    // track, deterministically.
+    let mut faults = FaultPlan::with_drops(p.seed, p.drop_prob);
+    faults.retransmit.timeout = 5.0e-3;
+    let cfg = ExecConfig {
+        cluster,
+        nodes,
+        inter: InterNodeFabric::InfiniBand,
+        mpt: MptVersion::Beta,
+        placement,
+        compiler: CompilerVersion::V7_1,
+        pinning: Pinning::Pinned,
+        faults,
+    };
+    let mut tracer = RecordingTracer::new();
+    execute_traced(&spec, &cfg, &mut tracer)?;
+    let profile = tracer.profile();
+    let metrics = tracer.metrics.clone();
+    // This experiment drives its own tracer (bypassing `execute`'s
+    // sink check), so deposit the bundle for `--trace` exports itself.
+    if columbia_obs::sink::is_active() {
+        columbia_obs::sink::record(tracer.into_bundle(format!(
+            "trace demo: {} ranks over {} nodes (IB)",
+            p.ranks, p.nodes
+        )));
+    }
+    let r = hotspot_report(&p.id, &p.title, &profile, &metrics, p.top);
+    Ok(PointOutput {
+        rows: r.rows,
+        notes: r.notes,
+        values: Vec::new(),
+    })
+}
+
 fn trace_plan() -> SweepPlan {
     let mut plan = SweepPlan::new(
         "Trace",
         "hotspots of an imbalanced 16-rank exchange over 2 nodes (InfiniBand, 5% drops)",
         &["rank", "compute", "comm", "wait", "total", "wait %"],
     );
-    plan.point(|| {
-        let n = 16usize;
-        let cluster = ClusterConfig::uniform(NodeKind::Bx2b, 2);
-        let nodes = vec![NodeId(0), NodeId(1)];
-        // Cap each node at 8 ranks so the exchange partners (r <-> r+8)
-        // straddle the InfiniBand link.
-        let placement = Placement::new(&cluster, &nodes, n, 1, PlacementStrategy::DenseCapped(8));
-        let mut spec = WorkloadSpec::with_ranks(n);
-        for (r, prog) in spec.ranks.iter_mut().enumerate() {
-            let partner = (r + n / 2) % n;
-            for _iter in 0..3 {
-                // Linear compute skew: rank 15 does ~2x rank 0's work, so
-                // the early ranks pile up wait time at the collectives.
-                prog.push(SpecOp::Work(WorkPhase::new(
-                    1.0e9 * (1.0 + r as f64 / (n - 1) as f64),
-                    1.0e8,
-                    1 << 20,
-                    0.2,
-                    KernelClass::BlockSolver,
-                )));
-                prog.push(SpecOp::Exchange {
-                    with: partner,
-                    bytes: 1 << 20,
-                    tag: r.min(partner) as u64,
-                });
-                prog.push(SpecOp::AllReduce { bytes: 64 });
-            }
-        }
-        // Seeded drops (software-level timeout, as in the degraded
-        // experiment) so the trace shows retransmit backoff on the net
-        // track, deterministically.
-        let mut faults = FaultPlan::with_drops(DEGRADED_SEED, 0.05);
-        faults.retransmit.timeout = 5.0e-3;
-        let cfg = ExecConfig {
-            cluster,
-            nodes,
-            inter: InterNodeFabric::InfiniBand,
-            mpt: MptVersion::Beta,
-            placement,
-            compiler: CompilerVersion::V7_1,
-            pinning: Pinning::Pinned,
-            faults,
-        };
-        let mut tracer = RecordingTracer::new();
-        execute_traced(&spec, &cfg, &mut tracer)?;
-        let profile = tracer.profile();
-        let metrics = tracer.metrics.clone();
-        // This experiment drives its own tracer (bypassing `execute`'s
-        // sink check), so deposit the bundle for `--trace` exports itself.
-        if columbia_obs::sink::is_active() {
-            columbia_obs::sink::record(
-                tracer.into_bundle("trace demo: 16 ranks over 2 nodes (IB)"),
-            );
-        }
-        let r = hotspot_report(
-            "Trace",
-            "hotspots of an imbalanced 16-rank exchange over 2 nodes (InfiniBand, 5% drops)",
-            &profile,
-            &metrics,
-            8,
-        );
-        Ok(PointOutput {
-            rows: r.rows,
-            notes: r.notes,
-            values: Vec::new(),
-        })
-    });
+    plan.point(|| trace_output(&TraceParams::default()));
     plan.note(
         "re-run as `repro --exp trace --trace t.json --metrics m.json` for the Perfetto timeline",
     );
@@ -1022,7 +1069,17 @@ fn columbia_plan() -> SweepPlan {
             "multiplexed msgs",
         ],
     );
-    plan.point(|| {
+    plan.point(columbia_full_output);
+    plan.point(columbia_subsystem_output);
+    plan.note("workload: 3 rounds of (compute, 8 KB ring send/recv, 32 KB node-pair exchange, 64 B allreduce), then a 1 MB broadcast and a barrier, shared across ranks as one ProgramSet template");
+    plan
+}
+
+/// The full-machine Columbia point (all twenty nodes over InfiniBand
+/// under the §2 connection budget) — shared with `core::spec`'s
+/// `kind = "columbia"`.
+pub(crate) fn columbia_full_output() -> Result<PointOutput, SimError> {
+    {
         let cluster = ClusterConfig::columbia();
         let ranks = cluster.total_cpus() as usize;
         let cpus: Vec<CpuId> = (0..cluster.nodes.len() as u32)
@@ -1064,8 +1121,13 @@ fn columbia_plan() -> SweepPlan {
             "full machine: section 2's p^2(n-1) formula oversubscribes the connection budget {:.1}x at 512 procs/node over 19 peers, so every cross-node message pays the multiplex queue penalty",
             out.faults.oversubscription
         )))
-    });
-    plan.point(|| {
+    }
+}
+
+/// The capability-subsystem Columbia point (four NUMAlink4 nodes,
+/// 2,048 ranks) — shared with `core::spec`'s `kind = "columbia"`.
+pub(crate) fn columbia_subsystem_output() -> Result<PointOutput, SimError> {
+    {
         let cluster = ClusterConfig::columbia();
         let sub = cluster.numalink4_subsystem.clone();
         let ranks = sub.len() * 512;
@@ -1091,9 +1153,7 @@ fn columbia_plan() -> SweepPlan {
             secs(out.max_comm()),
             out.faults.multiplexed_messages.to_string(),
         ]))
-    });
-    plan.note("workload: 3 rounds of (compute, 8 KB ring send/recv, 32 KB node-pair exchange, 64 B allreduce), then a 1 MB broadcast and a barrier, shared across ranks as one ProgramSet template");
-    plan
+    }
 }
 
 #[cfg(test)]
@@ -1272,7 +1332,7 @@ mod tests {
             required: 786_432,
             available: 524_288,
         };
-        let r = failure_report(Experiment::Fig11, &err);
+        let r = failure_report(Experiment::Fig11.name(), &err);
         let text = r.to_text();
         assert!(text.contains("node 3"), "{text}");
         assert!(text.contains("Fault model"), "{text}");

@@ -45,6 +45,7 @@ pub mod experiments;
 pub mod manifest;
 pub mod obs_report;
 pub mod report;
+pub mod spec;
 pub mod store;
 pub mod sweep;
 
@@ -52,6 +53,7 @@ pub use experiments::{run, run_with_jobs, Experiment};
 pub use manifest::{ManifestBuilder, ResilienceSummary, RunManifest, Volatile};
 pub use obs_report::{analysis_report, hotspot_report};
 pub use report::{Report, ReportError};
+pub use spec::{compile, load_and_compile, spec_hash, Spec, SpecError, SPEC_SCHEMA};
 pub use store::{PointKey, PointStore, StoreError};
 pub use sweep::{PointError, PointOutput, ResilienceOptions, SweepOutcome, SweepPlan, SweepStats};
 

@@ -43,6 +43,33 @@ pub fn report_hash(report: &Report) -> String {
     format!("{:032x}", h.finish())
 }
 
+/// The shared stable fields of one `experiments[]` entry.
+fn experiment_entry(
+    name: &str,
+    fingerprint: u64,
+    points: usize,
+    report: &Report,
+    stats: Option<&SweepStats>,
+) -> Value {
+    let mut e = Value::object();
+    e.set("name", Value::String(name.into()));
+    e.set(
+        "plan_fingerprint",
+        Value::String(format!("{fingerprint:016x}")),
+    );
+    e.set("points", Value::Number(points as f64));
+    e.set("report_id", Value::String(report.id.clone()));
+    e.set("report_hash", Value::String(report_hash(report)));
+    e.set(
+        "stats",
+        match stats {
+            Some(s) => s.to_value(),
+            None => Value::Null,
+        },
+    );
+    e
+}
+
 /// The resilience configuration a run executed under, as recorded in
 /// the manifest (a summary, not the live [`crate::ResilienceOptions`]
 /// — that struct owns a store handle and closures the manifest cannot
@@ -134,22 +161,30 @@ impl ManifestBuilder {
         report: &Report,
         stats: Option<&SweepStats>,
     ) {
-        let mut e = Value::object();
-        e.set("name", Value::String(name.into()));
-        e.set(
-            "plan_fingerprint",
-            Value::String(format!("{fingerprint:016x}")),
-        );
-        e.set("points", Value::Number(points as f64));
-        e.set("report_id", Value::String(report.id.clone()));
-        e.set("report_hash", Value::String(report_hash(report)));
-        e.set(
-            "stats",
-            match stats {
-                Some(s) => s.to_value(),
-                None => Value::Null,
-            },
-        );
+        let e = experiment_entry(name, fingerprint, points, report, stats);
+        self.experiments.push(e);
+    }
+
+    /// Record one spec-driven experiment (`repro --spec`). Identical to
+    /// [`Self::record_experiment`] plus a trailing `spec` object pinning
+    /// the run to the exact spec text that produced it: the FNV-128
+    /// content hash of the spec bytes ([`crate::spec::spec_hash`]) and
+    /// the resolved point count after grid expansion. Both live in the
+    /// stable portion — same spec, same manifest.
+    pub fn record_spec_experiment(
+        &mut self,
+        name: &str,
+        fingerprint: u64,
+        points: usize,
+        report: &Report,
+        stats: Option<&SweepStats>,
+        spec_content_hash: &str,
+    ) {
+        let mut e = experiment_entry(name, fingerprint, points, report, stats);
+        let mut s = Value::object();
+        s.set("content_hash", Value::String(spec_content_hash.into()));
+        s.set("points", Value::Number(points as f64));
+        e.set("spec", s);
         self.experiments.push(e);
     }
 

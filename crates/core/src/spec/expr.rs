@@ -1,0 +1,311 @@
+//! Arithmetic expressions for derived spec parameters.
+//!
+//! A string in a numeric parameter position — or an entry of a
+//! `[sweep.derived]` table — is evaluated as an expression over the
+//! point's numeric bindings (grid axes, earlier derived parameters,
+//! scalar numeric sweep parameters). The grammar is deliberately tiny:
+//!
+//! ```text
+//! expr   := term (('+' | '-') term)*
+//! term   := factor (('*' | '/') factor)*
+//! factor := number | ident | ident '(' expr (',' expr)* ')'
+//!         | '(' expr ')' | '-' factor
+//! ```
+//!
+//! with three functions: `ceildiv(a, b)`, `min(a, b)`, `max(a, b)` —
+//! enough to express e.g. Fig. 11's node count,
+//! `max(ceildiv(procs * threads, 512), 2)`. Errors are plain strings;
+//! [`crate::spec::compile`] attaches the spec-source span.
+
+use std::collections::BTreeMap;
+
+/// Evaluate `src` over `env`. Returns the value or a description of
+/// what went wrong (position information is the caller's job — it
+/// knows where the expression string sits in the spec).
+pub fn eval(src: &str, env: &BTreeMap<String, f64>) -> Result<f64, String> {
+    let tokens = lex(src)?;
+    let mut p = ExprParser {
+        tokens,
+        pos: 0,
+        env,
+    };
+    let v = p.expr()?;
+    match p.peek() {
+        Token::End => Ok(v),
+        t => Err(format!("unexpected {} after expression", t.describe())),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+    End,
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Num(n) => format!("number {n}"),
+            Token::Ident(s) => format!("identifier '{s}'"),
+            Token::Plus => "'+'".into(),
+            Token::Minus => "'-'".into(),
+            Token::Star => "'*'".into(),
+            Token::Slash => "'/'".into(),
+            Token::LParen => "'('".into(),
+            Token::RParen => "')'".into(),
+            Token::Comma => "','".into(),
+            Token::End => "end of expression".into(),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' => i += 1,
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_digit()
+                        || b[i] == b'.'
+                        || b[i] == b'e'
+                        || b[i] == b'E'
+                        || ((b[i] == b'+' || b[i] == b'-')
+                            && (b[i - 1] == b'e' || b[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                match text.parse::<f64>() {
+                    Ok(n) if n.is_finite() => out.push(Token::Num(n)),
+                    _ => return Err(format!("malformed number '{text}'")),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(src[start..i].to_string()));
+            }
+            c => return Err(format!("unexpected character '{}'", c as char)),
+        }
+    }
+    out.push(Token::End);
+    Ok(out)
+}
+
+struct ExprParser<'e> {
+    tokens: Vec<Token>,
+    pos: usize,
+    env: &'e BTreeMap<String, f64>,
+}
+
+impl ExprParser<'_> {
+    fn peek(&self) -> &Token {
+        self.tokens.get(self.pos).unwrap_or(&Token::End)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expr(&mut self) -> Result<f64, String> {
+        let mut v = self.term()?;
+        loop {
+            match self.peek() {
+                Token::Plus => {
+                    self.bump();
+                    v += self.term()?;
+                }
+                Token::Minus => {
+                    self.bump();
+                    v -= self.term()?;
+                }
+                _ => return Ok(v),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<f64, String> {
+        let mut v = self.factor()?;
+        loop {
+            match self.peek() {
+                Token::Star => {
+                    self.bump();
+                    v *= self.factor()?;
+                }
+                Token::Slash => {
+                    self.bump();
+                    let d = self.factor()?;
+                    if d == 0.0 {
+                        return Err("division by zero".into());
+                    }
+                    v /= d;
+                }
+                _ => return Ok(v),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<f64, String> {
+        match self.bump() {
+            Token::Num(n) => Ok(n),
+            Token::Minus => Ok(-self.factor()?),
+            Token::LParen => {
+                let v = self.expr()?;
+                match self.bump() {
+                    Token::RParen => Ok(v),
+                    t => Err(format!("expected ')', found {}", t.describe())),
+                }
+            }
+            Token::Ident(name) => {
+                if *self.peek() == Token::LParen {
+                    self.bump();
+                    let mut args = vec![self.expr()?];
+                    while *self.peek() == Token::Comma {
+                        self.bump();
+                        args.push(self.expr()?);
+                    }
+                    match self.bump() {
+                        Token::RParen => {}
+                        t => return Err(format!("expected ')', found {}", t.describe())),
+                    }
+                    apply(&name, &args)
+                } else {
+                    self.env.get(&name).copied().ok_or_else(|| {
+                        let known: Vec<&str> = self.env.keys().map(String::as_str).collect();
+                        format!(
+                            "unknown identifier '{name}' (in scope: {})",
+                            if known.is_empty() {
+                                "nothing".to_string()
+                            } else {
+                                known.join(", ")
+                            }
+                        )
+                    })
+                }
+            }
+            t => Err(format!("expected a value, found {}", t.describe())),
+        }
+    }
+}
+
+fn apply(name: &str, args: &[f64]) -> Result<f64, String> {
+    let two = |f: fn(f64, f64) -> f64| {
+        if args.len() == 2 {
+            Ok(f(args[0], args[1]))
+        } else {
+            Err(format!("{name}() takes 2 arguments, got {}", args.len()))
+        }
+    };
+    match name {
+        "ceildiv" => {
+            if args.len() != 2 {
+                return Err(format!("ceildiv() takes 2 arguments, got {}", args.len()));
+            }
+            if args[1] == 0.0 {
+                return Err("division by zero in ceildiv()".into());
+            }
+            Ok((args[0] / args[1]).ceil())
+        }
+        "min" => two(f64::min),
+        "max" => two(f64::max),
+        _ => Err(format!(
+            "unknown function '{name}' (available: ceildiv, min, max)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let e = env(&[("threads", 4.0)]);
+        assert_eq!(eval("36 * threads", &e).unwrap(), 144.0);
+        assert_eq!(eval("2 + 3 * 4", &e).unwrap(), 14.0);
+        assert_eq!(eval("(2 + 3) * 4", &e).unwrap(), 20.0);
+        assert_eq!(eval("-threads + 8", &e).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn fig11_node_formula() {
+        for ((procs, threads), nodes) in [
+            ((256.0, 1.0), 2.0),
+            ((512.0, 1.0), 2.0),
+            ((512.0, 2.0), 2.0),
+            ((2048.0, 1.0), 4.0),
+        ] {
+            let e = env(&[("procs", procs), ("threads", threads)]);
+            assert_eq!(
+                eval("max(ceildiv(procs * threads, 512), 2)", &e).unwrap(),
+                nodes
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let e = env(&[]);
+        assert!(eval("nope", &e).unwrap_err().contains("unknown identifier"));
+        assert!(eval("1 / 0", &e).unwrap_err().contains("division by zero"));
+        assert!(eval("hypot(1, 2)", &e)
+            .unwrap_err()
+            .contains("unknown function"));
+        assert!(eval("min(1)", &e).unwrap_err().contains("2 arguments"));
+        assert!(eval("1 +", &e).is_err());
+        assert!(eval("(1", &e).is_err());
+        assert!(eval("1 2", &e).is_err());
+    }
+}

@@ -1,0 +1,703 @@
+//! The typed spec document: decode a parsed [`Table`] into a [`Spec`],
+//! convert the JSON alternate form, and re-emit the canonical TOML
+//! text.
+//!
+//! Decoding validates document *structure* — required sections, value
+//! types, unknown keys (with suggestions). Sweep-block parameters stay
+//! raw [`Node`]s here; [`crate::spec::compile`] validates them against
+//! the selected measurement kind, because only the kind knows which
+//! parameters exist.
+//!
+//! [`Spec::to_toml`] emits a canonical rendering (defaults merged,
+//! fixed key order per section). The property suite holds the fixed
+//! point `emit(parse(emit(s))) == emit(s)` and that re-parsing an
+//! emitted spec compiles to the same plan fingerprint.
+
+use super::toml::{Entry, Node, Span, Table, Value};
+use super::{SpecError, SPEC_SCHEMA};
+
+/// A validated spec document, ready to compile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// Report identity: id, title, column headers, plan-level notes.
+    pub report: ReportSpec,
+    /// Sweep blocks in declaration order (defaults already merged in).
+    pub sweeps: Vec<SweepSpec>,
+    /// Optional cross-point collation.
+    pub collate: Option<CollateSpec>,
+}
+
+/// The `[report]` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSpec {
+    /// Report id (e.g. `"Fig. 9"`).
+    pub id: String,
+    /// Report title line.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Plan-level notes, rendered after all point output.
+    pub notes: Vec<String>,
+}
+
+/// One `[[sweep]]` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Measurement kind (`"npb"`, `"mz"`, `"dgemm"`, …).
+    pub kind: String,
+    /// Source position of the kind value.
+    pub kind_span: Span,
+    /// 1-based block index, for diagnostics.
+    pub index: usize,
+    /// Remaining parameters (defaults merged, block wins), raw — the
+    /// compiler types them per kind.
+    pub params: Vec<Entry>,
+    /// Grid axes in declaration order; the cartesian product runs with
+    /// the first axis slowest.
+    pub grid: Vec<Axis>,
+    /// Derived parameters, evaluated in declaration order.
+    pub derived: Vec<Derived>,
+}
+
+/// One grid axis: scalar values bind the axis name; inline-table
+/// values are tuple points binding each of their keys (an explicit
+/// point list).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// Binding name (or tuple-axis label).
+    pub name: String,
+    /// Source position of the axis key.
+    pub name_span: Span,
+    /// Axis values.
+    pub values: Vec<Node>,
+}
+
+/// One derived parameter: `name = "expr"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derived {
+    /// Binding name.
+    pub name: String,
+    /// Source position of the name.
+    pub name_span: Span,
+    /// Expression text (see [`crate::spec::expr`]).
+    pub expr: String,
+    /// Source position of the expression string.
+    pub expr_span: Span,
+}
+
+/// The `[collate]` section: a cross-point reduction applied at report
+/// time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollateSpec {
+    /// Reduction mode; `"ratio-to-first"` divides each point's scalar
+    /// value by the first point's and writes it into `column`.
+    pub mode: String,
+    /// Target column index.
+    pub column: usize,
+    /// Decimal places of the rendered ratio.
+    pub decimals: usize,
+    /// Suffix appended to the rendered ratio (e.g. `"x"`).
+    pub suffix: String,
+    /// Source position of the section, for late validation.
+    pub span: Span,
+}
+
+/// Tracks which keys of a table a decode stage consumed, so leftovers
+/// become [`SpecError::UnknownKey`] with a suggestion.
+pub(crate) struct Fields<'a> {
+    table: &'a Table,
+    used: Vec<&'a str>,
+}
+
+impl<'a> Fields<'a> {
+    pub(crate) fn new(table: &'a Table) -> Self {
+        Fields {
+            table,
+            used: Vec::new(),
+        }
+    }
+
+    pub(crate) fn take(&mut self, key: &'static str) -> Option<&'a Node> {
+        let node = self.table.get(key)?;
+        self.used.push(key);
+        Some(node)
+    }
+
+    /// Error on the first unconsumed key, suggesting the closest of
+    /// `allowed`.
+    pub(crate) fn finish(self, context: &str, allowed: &[&str]) -> Result<(), SpecError> {
+        for e in &self.table.entries {
+            if !self.used.contains(&e.key.as_str()) {
+                return Err(SpecError::UnknownKey {
+                    line: e.key_span.line,
+                    col: e.key_span.col,
+                    key: e.key.clone(),
+                    context: context.to_string(),
+                    suggestion: super::suggest(&e.key, allowed),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn invalid(span: Span, message: impl Into<String>) -> SpecError {
+    SpecError::Invalid {
+        line: span.line,
+        col: span.col,
+        message: message.into(),
+    }
+}
+
+pub(crate) fn as_str<'a>(node: &'a Node, what: &str) -> Result<&'a str, SpecError> {
+    match &node.value {
+        Value::Str(s) => Ok(s),
+        v => Err(invalid(
+            node.span,
+            format!("{what} must be a string, found {}", v.type_name()),
+        )),
+    }
+}
+
+pub(crate) fn as_table<'a>(node: &'a Node, what: &str) -> Result<&'a Table, SpecError> {
+    match &node.value {
+        Value::Table(t) => Ok(t),
+        v => Err(invalid(
+            node.span,
+            format!("{what} must be a table, found {}", v.type_name()),
+        )),
+    }
+}
+
+pub(crate) fn as_int(node: &Node, what: &str) -> Result<i64, SpecError> {
+    match &node.value {
+        Value::Int(i) => Ok(*i),
+        v => Err(invalid(
+            node.span,
+            format!("{what} must be an integer, found {}", v.type_name()),
+        )),
+    }
+}
+
+fn as_str_array(node: &Node, what: &str) -> Result<Vec<String>, SpecError> {
+    match &node.value {
+        Value::Array(items) => items
+            .iter()
+            .map(|n| as_str(n, what).map(str::to_string))
+            .collect(),
+        v => Err(invalid(
+            node.span,
+            format!(
+                "{what} must be an array of strings, found {}",
+                v.type_name()
+            ),
+        )),
+    }
+}
+
+/// Decode a parsed document into a [`Spec`].
+pub fn decode(root: &Table) -> Result<Spec, SpecError> {
+    let mut fields = Fields::new(root);
+
+    let schema = fields
+        .take("schema")
+        .ok_or_else(|| invalid(Span { line: 1, col: 1 }, "missing required key 'schema'"))?;
+    let schema_str = as_str(schema, "'schema'")?;
+    if schema_str != SPEC_SCHEMA {
+        return Err(invalid(
+            schema.span,
+            format!("unsupported schema '{schema_str}' (expected '{SPEC_SCHEMA}')"),
+        ));
+    }
+
+    let report_node = fields.take("report").ok_or_else(|| {
+        invalid(
+            Span { line: 1, col: 1 },
+            "missing required section [report]",
+        )
+    })?;
+    let report = decode_report(as_table(report_node, "[report]")?)?;
+
+    let defaults: Vec<Entry> = match fields.take("defaults") {
+        Some(n) => {
+            let t = as_table(n, "[defaults]")?;
+            for e in &t.entries {
+                if e.key == "grid" || e.key == "derived" {
+                    return Err(invalid(
+                        e.key_span,
+                        format!("[defaults] cannot set '{}' (it is per-sweep)", e.key),
+                    ));
+                }
+            }
+            t.entries.clone()
+        }
+        None => Vec::new(),
+    };
+
+    let sweep_node = fields.take("sweep").ok_or_else(|| {
+        invalid(
+            Span { line: 1, col: 1 },
+            "missing required section [[sweep]] (at least one sweep block)",
+        )
+    })?;
+    let sweep_tables = match &sweep_node.value {
+        Value::Array(items) => items,
+        v => {
+            return Err(invalid(
+                sweep_node.span,
+                format!(
+                    "'sweep' must be an array of tables ([[sweep]] blocks), found {}",
+                    v.type_name()
+                ),
+            ))
+        }
+    };
+    if sweep_tables.is_empty() {
+        return Err(invalid(
+            sweep_node.span,
+            "at least one [[sweep]] block is required",
+        ));
+    }
+    let mut sweeps = Vec::new();
+    for (i, n) in sweep_tables.iter().enumerate() {
+        let t = as_table(n, "[[sweep]]")?;
+        sweeps.push(decode_sweep(t, i + 1, &defaults, n.span)?);
+    }
+
+    let collate = match fields.take("collate") {
+        Some(n) => Some(decode_collate(as_table(n, "[collate]")?, n.span)?),
+        None => None,
+    };
+
+    fields.finish(
+        "the top level",
+        &["schema", "report", "defaults", "sweep", "collate"],
+    )?;
+
+    Ok(Spec {
+        report,
+        sweeps,
+        collate,
+    })
+}
+
+fn decode_report(t: &Table) -> Result<ReportSpec, SpecError> {
+    let mut f = Fields::new(t);
+    let missing = |what: &str| {
+        invalid(
+            Span { line: 1, col: 1 },
+            format!("[report] is missing required key '{what}'"),
+        )
+    };
+    let id = as_str(f.take("id").ok_or_else(|| missing("id"))?, "'id'")?.to_string();
+    let title = as_str(f.take("title").ok_or_else(|| missing("title"))?, "'title'")?.to_string();
+    let headers_node = f.take("headers").ok_or_else(|| missing("headers"))?;
+    let headers = as_str_array(headers_node, "'headers'")?;
+    if headers.is_empty() {
+        return Err(invalid(headers_node.span, "'headers' must not be empty"));
+    }
+    let notes = match f.take("notes") {
+        Some(n) => as_str_array(n, "'notes'")?,
+        None => Vec::new(),
+    };
+    f.finish("[report]", &["id", "title", "headers", "notes"])?;
+    Ok(ReportSpec {
+        id,
+        title,
+        headers,
+        notes,
+    })
+}
+
+fn decode_sweep(
+    t: &Table,
+    index: usize,
+    defaults: &[Entry],
+    block_span: Span,
+) -> Result<SweepSpec, SpecError> {
+    let kind_node = t
+        .get("kind")
+        .or_else(|| defaults.iter().find(|e| e.key == "kind").map(|e| &e.node));
+    let kind_node = kind_node.ok_or_else(|| {
+        invalid(
+            block_span,
+            format!("[[sweep]] block {index} is missing required key 'kind'"),
+        )
+    })?;
+    let kind = as_str(kind_node, "'kind'")?.to_string();
+
+    let grid = match t.get("grid") {
+        Some(n) => {
+            let gt = as_table(n, "[sweep.grid]")?;
+            let mut axes = Vec::new();
+            for e in &gt.entries {
+                let values = match &e.node.value {
+                    Value::Array(items) => items.clone(),
+                    v => {
+                        return Err(invalid(
+                            e.node.span,
+                            format!(
+                                "grid axis '{}' must be an array, found {}",
+                                e.key,
+                                v.type_name()
+                            ),
+                        ))
+                    }
+                };
+                if values.is_empty() {
+                    return Err(invalid(
+                        e.node.span,
+                        format!("grid axis '{}' must not be empty", e.key),
+                    ));
+                }
+                axes.push(Axis {
+                    name: e.key.clone(),
+                    name_span: e.key_span,
+                    values,
+                });
+            }
+            axes
+        }
+        None => Vec::new(),
+    };
+
+    let derived = match t.get("derived") {
+        Some(n) => {
+            let dt = as_table(n, "[sweep.derived]")?;
+            let mut out = Vec::new();
+            for e in &dt.entries {
+                let expr = as_str(&e.node, &format!("derived parameter '{}'", e.key))?;
+                out.push(Derived {
+                    name: e.key.clone(),
+                    name_span: e.key_span,
+                    expr: expr.to_string(),
+                    expr_span: e.node.span,
+                });
+            }
+            out
+        }
+        None => Vec::new(),
+    };
+
+    // Merge: defaults first (block value wins in place), then
+    // block-only keys in block order.
+    let mut params: Vec<Entry> = Vec::new();
+    for d in defaults {
+        if d.key == "kind" {
+            continue;
+        }
+        match t.get(&d.key) {
+            Some(_) => {} // block version added below, in block order
+            None => params.push(d.clone()),
+        }
+    }
+    for e in &t.entries {
+        if e.key == "kind" || e.key == "grid" || e.key == "derived" {
+            continue;
+        }
+        params.push(e.clone());
+    }
+
+    Ok(SweepSpec {
+        kind,
+        kind_span: kind_node.span,
+        index,
+        params,
+        grid,
+        derived,
+    })
+}
+
+fn decode_collate(t: &Table, span: Span) -> Result<CollateSpec, SpecError> {
+    let mut f = Fields::new(t);
+    let mode_node = f
+        .take("mode")
+        .ok_or_else(|| invalid(span, "[collate] is missing required key 'mode'"))?;
+    let mode = as_str(mode_node, "'mode'")?.to_string();
+    if mode != "ratio-to-first" {
+        return Err(invalid(
+            mode_node.span,
+            format!("unknown collate mode '{mode}' (available: ratio-to-first)"),
+        ));
+    }
+    let column_node = f
+        .take("column")
+        .ok_or_else(|| invalid(span, "[collate] is missing required key 'column'"))?;
+    let column = as_int(column_node, "'column'")?;
+    if column < 0 {
+        return Err(invalid(column_node.span, "'column' must be >= 0"));
+    }
+    let decimals = match f.take("decimals") {
+        Some(n) => {
+            let d = as_int(n, "'decimals'")?;
+            if !(0..=12).contains(&d) {
+                return Err(invalid(n.span, "'decimals' must be between 0 and 12"));
+            }
+            d as usize
+        }
+        None => 3,
+    };
+    let suffix = match f.take("suffix") {
+        Some(n) => as_str(n, "'suffix'")?.to_string(),
+        None => String::new(),
+    };
+    f.finish("[collate]", &["mode", "column", "decimals", "suffix"])?;
+    Ok(CollateSpec {
+        mode,
+        column: column as usize,
+        decimals,
+        suffix,
+        span,
+    })
+}
+
+/// Parse the JSON alternate form (vendored `serde_json`) and decode
+/// it. JSON carries no line/column information, so diagnostics from
+/// this path report position `0:0`.
+pub fn from_json(text: &str) -> Result<Spec, SpecError> {
+    let value = serde_json::from_str(text).map_err(|e| SpecError::Parse {
+        line: 0,
+        col: 0,
+        message: format!("JSON: {} (at byte offset {})", e.message, e.offset),
+    })?;
+    let node = json_to_node(&value)?;
+    let table = match node.value {
+        Value::Table(t) => t,
+        v => {
+            return Err(SpecError::Parse {
+                line: 0,
+                col: 0,
+                message: format!("JSON spec must be an object, found {}", v.type_name()),
+            })
+        }
+    };
+    decode(&table)
+}
+
+fn json_to_node(v: &serde_json::Value) -> Result<Node, SpecError> {
+    let value = match v {
+        serde_json::Value::Null => {
+            return Err(SpecError::Parse {
+                line: 0,
+                col: 0,
+                message: "JSON null is not a spec value".into(),
+            })
+        }
+        serde_json::Value::Bool(b) => Value::Bool(*b),
+        serde_json::Value::Number(n) => {
+            if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 {
+                Value::Int(*n as i64)
+            } else {
+                Value::Float(*n)
+            }
+        }
+        serde_json::Value::String(s) => Value::Str(s.clone()),
+        serde_json::Value::Array(items) => {
+            Value::Array(items.iter().map(json_to_node).collect::<Result<_, _>>()?)
+        }
+        serde_json::Value::Object(entries) => {
+            let mut t = Table::default();
+            for (k, v) in entries {
+                t.entries.push(Entry {
+                    key: k.clone(),
+                    key_span: Span::NONE,
+                    node: json_to_node(v)?,
+                });
+            }
+            Value::Table(t)
+        }
+    };
+    Ok(Node {
+        value,
+        span: Span::NONE,
+    })
+}
+
+impl Spec {
+    /// Emit the canonical TOML rendering: defaults merged into each
+    /// block, sections in fixed order. Re-parsing the emission yields
+    /// an equal spec (the round-trip fixed point the property suite
+    /// holds).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("schema = {}\n", quote(SPEC_SCHEMA)));
+        out.push_str("\n[report]\n");
+        out.push_str(&format!("id = {}\n", quote(&self.report.id)));
+        out.push_str(&format!("title = {}\n", quote(&self.report.title)));
+        out.push_str(&format!(
+            "headers = [{}]\n",
+            self.report
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        if !self.report.notes.is_empty() {
+            out.push_str(&format!(
+                "notes = [{}]\n",
+                self.report
+                    .notes
+                    .iter()
+                    .map(|n| quote(n))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        for s in &self.sweeps {
+            out.push_str("\n[[sweep]]\n");
+            out.push_str(&format!("kind = {}\n", quote(&s.kind)));
+            for e in &s.params {
+                out.push_str(&format!("{} = {}\n", e.key, render(&e.node)));
+            }
+            if !s.grid.is_empty() {
+                out.push_str("\n[sweep.grid]\n");
+                for a in &s.grid {
+                    out.push_str(&format!(
+                        "{} = [{}]\n",
+                        a.name,
+                        a.values.iter().map(render).collect::<Vec<_>>().join(", ")
+                    ));
+                }
+            }
+            if !s.derived.is_empty() {
+                out.push_str("\n[sweep.derived]\n");
+                for d in &s.derived {
+                    out.push_str(&format!("{} = {}\n", d.name, quote(&d.expr)));
+                }
+            }
+        }
+        if let Some(c) = &self.collate {
+            out.push_str("\n[collate]\n");
+            out.push_str(&format!("mode = {}\n", quote(&c.mode)));
+            out.push_str(&format!("column = {}\n", c.column));
+            out.push_str(&format!("decimals = {}\n", c.decimals));
+            out.push_str(&format!("suffix = {}\n", quote(&c.suffix)));
+        }
+        out
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn render(node: &Node) -> String {
+    match &node.value {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f:?}"),
+        Value::Str(s) => quote(s),
+        Value::Bool(b) => b.to_string(),
+        Value::Array(items) => format!(
+            "[{}]",
+            items.iter().map(render).collect::<Vec<_>>().join(", ")
+        ),
+        Value::Table(t) => format!(
+            "{{ {} }}",
+            t.entries
+                .iter()
+                .map(|e| format!("{} = {}", e.key, render(&e.node)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::toml::parse as parse_table;
+
+    const MINI: &str = r#"
+schema = "columbia-spec-v1"
+
+[report]
+id = "T"
+title = "a tiny spec"
+headers = ["benchmark", "node", "per-CPU result"]
+
+[defaults]
+stride = 1
+
+[[sweep]]
+kind = "dgemm"
+row = ["DGEMM", "{node}", "{gflops} Gflop/s"]
+
+[sweep.grid]
+node = ["3700", "BX2a", "BX2b"]
+"#;
+
+    #[test]
+    fn decodes_and_merges_defaults() {
+        let spec = decode(&parse_table(MINI).unwrap()).unwrap();
+        assert_eq!(spec.report.id, "T");
+        assert_eq!(spec.sweeps.len(), 1);
+        let s = &spec.sweeps[0];
+        assert_eq!(s.kind, "dgemm");
+        // Default `stride` merged in, block `row` present.
+        assert!(s.params.iter().any(|e| e.key == "stride"));
+        assert!(s.params.iter().any(|e| e.key == "row"));
+        assert_eq!(s.grid.len(), 1);
+        assert_eq!(s.grid[0].name, "node");
+        assert_eq!(s.grid[0].values.len(), 3);
+    }
+
+    #[test]
+    fn unknown_top_level_key_suggests() {
+        let text = MINI.replace("[defaults]", "[default]");
+        let err = decode(&parse_table(&text).unwrap()).unwrap_err();
+        match err {
+            SpecError::UnknownKey {
+                key, suggestion, ..
+            } => {
+                assert_eq!(key, "default");
+                assert_eq!(suggestion.as_deref(), Some("defaults"));
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn schema_is_mandatory_and_checked() {
+        let err = decode(&parse_table("x = 1\n").unwrap()).unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+        let text = MINI.replace("columbia-spec-v1", "columbia-spec-v9");
+        let err = decode(&parse_table(&text).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn emit_reparse_is_a_fixed_point() {
+        let spec = decode(&parse_table(MINI).unwrap()).unwrap();
+        let emitted = spec.to_toml();
+        let spec2 = decode(&parse_table(&emitted).unwrap()).unwrap();
+        assert_eq!(emitted, spec2.to_toml());
+    }
+
+    #[test]
+    fn json_alternate_form_decodes() {
+        let json = r#"{
+            "schema": "columbia-spec-v1",
+            "report": {"id": "T", "title": "t", "headers": ["a"]},
+            "sweep": [{"kind": "dgemm", "stride": 1,
+                       "row": ["DGEMM", "{node}", "{gflops}"],
+                       "grid": {"node": ["3700"]}}]
+        }"#;
+        let spec = from_json(json).unwrap();
+        assert_eq!(spec.sweeps[0].kind, "dgemm");
+        assert_eq!(spec.sweeps[0].grid[0].values.len(), 1);
+    }
+}

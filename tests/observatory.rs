@@ -81,6 +81,78 @@ fn manifests_of_identical_runs_are_byte_stable() {
 }
 
 #[test]
+fn spec_manifest_entries_pin_spec_hash_and_points_in_the_stable_part() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let text = std::fs::read_to_string(
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../specs/table1.toml"),
+    )
+    .expect("shipped spec readable");
+
+    let manifest_of = |spec_text: &str, wall: f64| -> RunManifest {
+        let spec = columbia::spec::load_str(spec_text).expect("spec parses");
+        let p = columbia::spec::compile(&spec).expect("spec compiles");
+        let (fingerprint, points) = (p.fingerprint(), p.len());
+        let report = p.run_with_jobs(1).expect("spec plan runs");
+        let mut b = ManifestBuilder::new("repro", 1, &ResilienceSummary::default());
+        b.record_spec_experiment(
+            "table1",
+            fingerprint,
+            points,
+            &report,
+            None,
+            &columbia::spec::spec_hash(spec_text.as_bytes()),
+        );
+        b.finish(&Volatile {
+            wall_time_seconds: wall,
+            git_rev: columbia::manifest::git_rev(),
+            host_metrics: None,
+        })
+    };
+
+    let a = manifest_of(&text, 0.5);
+    let b = manifest_of(&text, 42.0);
+    assert_eq!(
+        a.stable_string(),
+        b.stable_string(),
+        "same spec bytes: stable part byte-identical"
+    );
+
+    // The spec object sits in the stable portion and carries the
+    // FNV-128 content hash of the spec bytes plus the resolved point
+    // count after grid expansion.
+    let doc = serde_json::from_str(&a.stable_string()).expect("stable part parses");
+    let e = &doc.get("experiments").and_then(Value::as_array).unwrap()[0];
+    let spec = e.get("spec").expect("spec object recorded");
+    assert_eq!(
+        spec.get("content_hash").and_then(Value::as_str),
+        Some(columbia::spec::spec_hash(text.as_bytes()).as_str())
+    );
+    assert_eq!(
+        spec.get("points").and_then(Value::as_f64),
+        e.get("points").and_then(Value::as_f64),
+        "resolved point count mirrors the entry's"
+    );
+
+    // Touching the spec text — even a comment that compiles to the very
+    // same plan — moves the content hash, and with it the stable part:
+    // the manifest pins the *text* that ran, not just the plan shape.
+    let touched = format!("# provenance comment\n{text}");
+    let c = manifest_of(&touched, 0.5);
+    let doc_c = serde_json::from_str(&c.stable_string()).expect("stable part parses");
+    let e_c = &doc_c.get("experiments").and_then(Value::as_array).unwrap()[0];
+    assert_eq!(
+        e_c.get("plan_fingerprint"),
+        e.get("plan_fingerprint"),
+        "comment-only edit leaves the plan identical"
+    );
+    assert_ne!(
+        c.stable_string(),
+        a.stable_string(),
+        "but the spec content hash changes the stable part"
+    );
+}
+
+#[test]
 fn manifest_report_hash_matches_the_rendered_report() {
     let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let exp = Experiment::Table1;

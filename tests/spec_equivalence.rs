@@ -1,0 +1,132 @@
+//! Spec-frontend equivalence suite.
+//!
+//! The contract of `specs/`: every shipped spec file compiles to a
+//! plan whose report is **byte-identical** to its hard-coded `--exp`
+//! counterpart, which the golden fixtures in `tests/golden/` already
+//! pin. Three layers per experiment:
+//!
+//! 1. the compiled plan's fingerprint equals the hard-coded plan's
+//!    (same id, title, headers, point count);
+//! 2. the rendered report equals the golden fixture byte-for-byte at
+//!    `--jobs 1`;
+//! 3. the rendered report is unchanged at `--jobs 4` (spec-built plans
+//!    inherit the sweep engine's scheduling determinism).
+//!
+//! There is no `UPDATE_GOLDEN` path here on purpose: these tests
+//! compare against the same fixtures as `tests/golden_values.rs`, so a
+//! deliberate model change updates the fixture once (over there) and
+//! this suite proves the spec file still tracks it. A failure here
+//! with a passing golden suite means the *spec* drifted from the
+//! hard-coded plan — fix the spec (or the spec compiler), not the
+//! fixture.
+
+use std::path::PathBuf;
+
+use columbia::experiments::{plan, Experiment};
+use columbia::spec::load_and_compile;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn golden(name: &str) -> String {
+    let path = repo_path(&format!("tests/golden/{name}.txt"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()))
+}
+
+fn check(exp: Experiment) {
+    let name = exp.name();
+    let spec_path = repo_path(&format!("specs/{name}.toml"));
+    let compiled = load_and_compile(&spec_path)
+        .unwrap_or_else(|e| panic!("specs/{name}.toml failed to compile: {e}"));
+
+    let hard = plan(exp);
+    assert_eq!(
+        compiled.fingerprint(),
+        hard.fingerprint(),
+        "{name}: spec-built plan fingerprint diverges from the hard-coded plan \
+         (id, title, headers, or point count changed)"
+    );
+
+    let expected = golden(name);
+    let serial = format!(
+        "{}\n",
+        compiled
+            .run_with_jobs(1)
+            .unwrap_or_else(|e| panic!("specs/{name}.toml failed to run: {e}"))
+            .to_text()
+    );
+    assert_eq!(
+        serial, expected,
+        "specs/{name}.toml report (jobs=1) diverges from tests/golden/{name}.txt"
+    );
+
+    let parallel = format!(
+        "{}\n",
+        load_and_compile(&spec_path)
+            .unwrap()
+            .run_with_jobs(4)
+            .unwrap_or_else(|e| panic!("specs/{name}.toml failed to run at jobs=4: {e}"))
+            .to_text()
+    );
+    assert_eq!(
+        parallel, expected,
+        "specs/{name}.toml report (jobs=4) diverges from tests/golden/{name}.txt"
+    );
+}
+
+macro_rules! equivalence {
+    ($($test:ident => $exp:ident),* $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                check(Experiment::$exp);
+            }
+        )*
+    };
+}
+
+equivalence! {
+    spec_table1 => Table1,
+    spec_fig5 => Fig5,
+    spec_dgemm_stream => DgemmStream,
+    spec_fig6 => Fig6,
+    spec_table2 => Table2,
+    spec_table3 => Table3,
+    spec_stride => Stride,
+    spec_fig7 => Fig7,
+    spec_fig8 => Fig8,
+    spec_table4 => Table4,
+    spec_fig9 => Fig9,
+    spec_fig10 => Fig10,
+    spec_fig11 => Fig11,
+    spec_table5 => Table5,
+    spec_table6 => Table6,
+    spec_degraded => Degraded,
+    spec_trace => Trace,
+    spec_columbia => Columbia,
+}
+
+/// The directory and the experiment list stay in lockstep: every
+/// experiment has a spec, and every spec is an experiment's (no
+/// orphaned files accumulating untested).
+#[test]
+fn specs_directory_is_exactly_the_experiment_set() {
+    let dir = repo_path("specs");
+    let mut found: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing specs/ directory: {e}"))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    found.sort();
+    let mut expected: Vec<String> = Experiment::ALL
+        .iter()
+        .map(|e| e.name().to_string())
+        .collect();
+    expected.sort();
+    assert_eq!(found, expected);
+}

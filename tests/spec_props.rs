@@ -1,0 +1,154 @@
+//! Property suite for the spec frontend.
+//!
+//! Three holds, over every shipped spec (`specs/`) and the valid
+//! conformance corpus (`tests/spec_corpus/valid/`):
+//!
+//! * **Emit fixed point** — `Spec::to_toml` is canonical: re-parsing
+//!   an emission and emitting again reproduces it byte-for-byte, and
+//!   both sides compile to the same plan fingerprint.
+//! * **Schedule independence** — a spec-built plan renders the same
+//!   report at `--jobs 1`, `2`, and `7`; the frontend inherits the
+//!   sweep engine's determinism rather than re-proving it per spec.
+//! * **No panics on garbage** — arbitrary byte mutations of valid
+//!   spec text (corruption, truncation, insertion) always come back
+//!   as `Ok` or a typed `SpecError`, never a panic. proptest treats a
+//!   panic inside the closure as a failure and shrinks the mutation.
+
+use std::path::PathBuf;
+
+use columbia::spec::{compile, load_str, Spec};
+use proptest::prelude::*;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// Every TOML-form spec we ship or test against: `specs/*.toml` plus
+/// the valid half of the conformance corpus.
+fn all_spec_texts() -> Vec<(String, String)> {
+    let mut texts = Vec::new();
+    for dir in ["specs", "tests/spec_corpus/valid"] {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(repo_path(dir))
+            .unwrap_or_else(|e| panic!("missing {dir}: {e}"))
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+            .collect();
+        files.sort();
+        for f in files {
+            texts.push((
+                f.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read_to_string(&f).unwrap(),
+            ));
+        }
+    }
+    assert!(texts.len() >= 38, "spec inventory shrank: {}", texts.len());
+    texts
+}
+
+fn parse(name: &str, text: &str) -> Spec {
+    load_str(text).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"))
+}
+
+#[test]
+fn emission_is_a_fixed_point_and_preserves_the_plan() {
+    for (name, text) in all_spec_texts() {
+        let spec = parse(&name, &text);
+        let emitted = spec.to_toml();
+        let reparsed = parse(&name, &emitted);
+        assert_eq!(
+            reparsed.to_toml(),
+            emitted,
+            "{name}: emit(parse(emit)) is not a fixed point"
+        );
+        // (No whole-struct equality here: `Spec` carries source spans,
+        // which legitimately differ between the original layout and the
+        // canonical emission. The byte fixed point plus the fingerprint
+        // equality below are the structural contract.)
+        let fp = compile(&spec)
+            .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"))
+            .fingerprint();
+        let fp2 = compile(&reparsed).unwrap().fingerprint();
+        assert_eq!(fp, fp2, "{name}: emission compiles to a different plan");
+    }
+}
+
+/// Cheap corpus specs for the schedule-independence property — small
+/// point counts, fast kinds, but covering grids, tuple axes, faults,
+/// and collation.
+const CHEAP: [&str; 6] = [
+    "collate-ratio.toml",
+    "dgemm-grid.toml",
+    "grid-two-axes.toml",
+    "md-weak-single.toml",
+    "note-template.toml",
+    "stream-stride.toml",
+];
+
+fn cheap_text(name: &str) -> String {
+    std::fs::read_to_string(repo_path(&format!("tests/spec_corpus/valid/{name}"))).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn same_spec_means_same_report_across_job_counts(
+        name in prop::sample::select(CHEAP.to_vec()),
+    ) {
+        let text = cheap_text(name);
+        let serial = compile(&load_str(&text).unwrap())
+            .unwrap()
+            .run_with_jobs(1)
+            .unwrap();
+        for jobs in [2usize, 7] {
+            let par = compile(&load_str(&text).unwrap())
+                .unwrap()
+                .run_with_jobs(jobs)
+                .unwrap();
+            prop_assert_eq!(serial.to_text(), par.to_text(), "{}: jobs={}", name, jobs);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn mutated_spec_bytes_never_panic(
+        name in prop::sample::select(CHEAP.to_vec()),
+        // Each word encodes one edit: low byte the replacement value,
+        // next two bits the operation (overwrite / insert / delete),
+        // the rest the position.
+        edits in prop::collection::vec(0u64..u64::MAX, 1..8),
+        truncate in 0u64..u64::MAX,
+    ) {
+        let mut bytes = cheap_text(name).into_bytes();
+        for &word in &edits {
+            if bytes.is_empty() {
+                break;
+            }
+            let byte = word as u8;
+            let pos = (word >> 10) as usize;
+            let at = pos % bytes.len();
+            match (word >> 8) % 3 {
+                0 => bytes[at] = byte,
+                1 => bytes.insert(at, byte),
+                _ => {
+                    bytes.remove(at);
+                }
+            }
+        }
+        // Half the cases also truncate mid-document.
+        if truncate % 2 == 0 {
+            let t = (truncate >> 1) as usize;
+            bytes.truncate(t % (bytes.len() + 1));
+        }
+        // Corruption may break UTF-8; the loader takes &str, so feed it
+        // the lossy decoding (what any caller reading a file would do).
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        // The property is the absence of a panic; both outcomes are fine.
+        let _ = load_str(&text).and_then(|s| compile(&s));
+    }
+}
