@@ -5,6 +5,7 @@
 //! repro --exp table2          # one experiment
 //! repro --spec specs/f.toml   # a declarative sweep spec (repeatable)
 //! repro --jobs 4              # fan sweep points across 4 threads
+//! repro --sim-threads 4       # parallelize each simulation (PDES)
 //! repro --json                # machine-readable output
 //! repro --list                # experiment ids
 //! repro --trace out.json      # capture a Chrome/Perfetto timeline
@@ -35,6 +36,16 @@
 //! `--jobs 1` is the plain serial path). Collation is deterministic,
 //! so the output is byte-identical for every N — CI diffs `--jobs 2`
 //! against `--jobs 1` as a gate.
+//!
+//! `--sim-threads N` parallelizes *within* each simulation: the
+//! conservative PDES tier (`columbia_simnet::pdes`) partitions ranks
+//! by node and synchronizes on the fabric's minimum cross-node
+//! latency. Orthogonal to `--jobs` (which fans *across* sweep
+//! points): `--jobs` wins when a sweep has many points, `--sim-threads`
+//! when one simulation dominates (the 10,240-rank full-Columbia run).
+//! Results are bit-identical at any value — CI diffs `--sim-threads 4`
+//! against the serial golden. Overrides a spec's `[defaults]
+//! sim_threads` key; default 1 (serial engine).
 //!
 //! `--trace` and `--metrics` install the global trace sink
 //! (`columbia_obs::sink`) before running the selected experiments:
@@ -208,6 +219,16 @@ fn main() {
         },
         None => par::available_parallelism(),
     };
+    let sim_threads_flag = match args.iter().position(|a| a == "--sim-threads") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(t) if t >= 1 => Some(t),
+            _ => {
+                eprintln!("--sim-threads requires a thread count >= 1");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
 
     // Resilience flags: any of them selects the resilient executor.
     let checkpoint_dir = flag_value(&args, "--checkpoint-dir");
@@ -285,12 +306,19 @@ fn main() {
         )
     });
     let mut failed_points = 0usize;
+    let mut manifest_sim_threads = 1usize;
     for job in selected {
         let Job {
             name,
             plan: sweep_plan,
             spec_content_hash,
         } = job;
+        // Per-simulation PDES threads: CLI beats the spec's
+        // `[defaults] sim_threads`, which beats serial. Set before the
+        // job runs; the engine consults the global at dispatch.
+        let sim_threads = sim_threads_flag.or(sweep_plan.sim_threads).unwrap_or(1);
+        columbia::simnet::set_sim_threads(sim_threads);
+        manifest_sim_threads = manifest_sim_threads.max(sim_threads);
         let fingerprint = sweep_plan.fingerprint();
         let points = sweep_plan.len();
         let mut exp_stats = None;
@@ -456,6 +484,7 @@ fn main() {
             wall_time_seconds: run_start.elapsed().as_secs_f64(),
             git_rev: manifest::git_rev(),
             host_metrics: host_report.as_ref().map(|r| r.metrics.to_value()),
+            sim_threads: manifest_sim_threads,
         });
         write_or_die(&path, &m.to_string_pretty());
     }

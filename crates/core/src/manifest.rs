@@ -124,6 +124,10 @@ pub struct Volatile {
     /// Host executor metrics ([`columbia_obs::Metrics::to_value`]) when
     /// a host capture was live, else absent.
     pub host_metrics: Option<Value>,
+    /// PDES threads each simulation ran with (1 = serial engine).
+    /// Volatile because results are bit-identical at any value — the
+    /// stable portion must not depend on how the run was executed.
+    pub sim_threads: usize,
 }
 
 /// Accumulates one run's manifest; [`ManifestBuilder::finish`] seals
@@ -200,6 +204,10 @@ impl ManifestBuilder {
         v.set(
             "host_metrics",
             volatile.host_metrics.clone().unwrap_or(Value::Null),
+        );
+        v.set(
+            "sim_threads",
+            Value::Number(volatile.sim_threads.max(1) as f64),
         );
         self.doc.set("volatile", v);
         RunManifest { doc: self.doc }
@@ -284,6 +292,7 @@ mod tests {
             wall_time_seconds: wall,
             git_rev: git_rev(),
             host_metrics: None,
+            sim_threads: 1,
         })
     }
 

@@ -79,6 +79,7 @@ fn invalid(span: Span, message: impl Into<String>) -> SpecError {
 pub fn compile(spec: &Spec) -> Result<SweepPlan, SpecError> {
     let headers: Vec<&str> = spec.report.headers.iter().map(String::as_str).collect();
     let mut plan = SweepPlan::new(&spec.report.id, &spec.report.title, &headers);
+    plan.sim_threads = spec.sim_threads;
     for sweep in &spec.sweeps {
         expand_sweep(&mut plan, sweep, spec)?;
     }

@@ -25,6 +25,11 @@ pub struct Spec {
     pub sweeps: Vec<SweepSpec>,
     /// Optional cross-point collation.
     pub collate: Option<CollateSpec>,
+    /// `[defaults] sim_threads` — per-simulation PDES thread count
+    /// requested for every point of this spec (`None` = runner
+    /// decides). An execution hint only: results are bit-identical at
+    /// any value.
+    pub sim_threads: Option<usize>,
 }
 
 /// The `[report]` section.
@@ -218,9 +223,11 @@ pub fn decode(root: &Table) -> Result<Spec, SpecError> {
     })?;
     let report = decode_report(as_table(report_node, "[report]")?)?;
 
+    let mut sim_threads = None;
     let defaults: Vec<Entry> = match fields.take("defaults") {
         Some(n) => {
             let t = as_table(n, "[defaults]")?;
+            let mut entries = Vec::new();
             for e in &t.entries {
                 if e.key == "grid" || e.key == "derived" {
                     return Err(invalid(
@@ -228,8 +235,23 @@ pub fn decode(root: &Table) -> Result<Spec, SpecError> {
                         format!("[defaults] cannot set '{}' (it is per-sweep)", e.key),
                     ));
                 }
+                // `sim_threads` is spec-level execution policy, not a
+                // sweep parameter: lift it out before merging defaults
+                // into the blocks.
+                if e.key == "sim_threads" {
+                    let v = as_int(&e.node, "'sim_threads'")?;
+                    if v < 1 {
+                        return Err(invalid(
+                            e.node.span,
+                            format!("'sim_threads' must be at least 1, found {v}"),
+                        ));
+                    }
+                    sim_threads = Some(v as usize);
+                    continue;
+                }
+                entries.push(e.clone());
             }
-            t.entries.clone()
+            entries
         }
         None => Vec::new(),
     };
@@ -278,6 +300,7 @@ pub fn decode(root: &Table) -> Result<Spec, SpecError> {
         report,
         sweeps,
         collate,
+        sim_threads,
     })
 }
 
@@ -543,6 +566,10 @@ impl Spec {
                     .collect::<Vec<_>>()
                     .join(", ")
             ));
+        }
+        if let Some(n) = self.sim_threads {
+            out.push_str("\n[defaults]\n");
+            out.push_str(&format!("sim_threads = {n}\n"));
         }
         for s in &self.sweeps {
             out.push_str("\n[[sweep]]\n");

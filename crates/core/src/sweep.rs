@@ -303,6 +303,12 @@ pub struct SweepPlan {
     /// Plan-level notes, appended after all point notes.
     notes: Vec<String>,
     collate: Option<Collate>,
+    /// Per-simulation PDES thread count requested by the spec's
+    /// `[defaults] sim_threads` key (`None` = runner decides; the CLI
+    /// flag overrides either way). Purely an execution hint: it cannot
+    /// change any simulated result, so it is excluded from
+    /// [`SweepPlan::fingerprint`] and checkpoints resolve across it.
+    pub sim_threads: Option<usize>,
 }
 
 impl SweepPlan {
@@ -315,6 +321,7 @@ impl SweepPlan {
             points: Vec::new(),
             notes: Vec::new(),
             collate: None,
+            sim_threads: None,
         }
     }
 

@@ -45,6 +45,7 @@
 //! [`SimOutcome`]: https://docs.rs/columbia-simnet
 
 pub mod analysis;
+pub mod canon;
 pub mod chrome;
 pub mod host;
 pub mod metrics;
@@ -56,6 +57,7 @@ pub use analysis::{
     analyze, Analysis, Breakdown, Category, CommPair, CriticalPath, Imbalance, PathSegment,
     ANALYSIS_SCHEMA,
 };
+pub use canon::{BufferedEvent, CanonicalTracer, EventBuffer};
 pub use chrome::{chrome_trace, chrome_trace_with_flows, chrome_trace_with_host};
 pub use host::{HostReport, HostSpan, HostTrack};
 pub use metrics::{Histogram, Metrics};

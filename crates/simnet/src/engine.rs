@@ -45,7 +45,9 @@
 use std::collections::{HashMap, VecDeque};
 
 use columbia_machine::cluster::CpuId;
-use columbia_obs::{CausalEdge, EdgeKind, MessageRecord, NullTracer, SpanKind, Tracer};
+use columbia_obs::{
+    CanonicalTracer, CausalEdge, EdgeKind, MessageRecord, NullTracer, SpanKind, Tracer,
+};
 
 use crate::collectives;
 use crate::error::{DeadlockReport, PendingOp, SimError};
@@ -88,7 +90,7 @@ pub enum Op {
 
 impl Op {
     /// The peer this op blocks on, if it names one.
-    fn waiting_on(&self) -> Option<usize> {
+    pub(crate) fn waiting_on(&self) -> Option<usize> {
         match self {
             Op::Recv { from, .. } => Some(*from),
             Op::Exchange { with, .. } => Some(*with),
@@ -136,13 +138,244 @@ impl SimOutcome {
     }
 }
 
-struct RankState {
-    pc: usize,
-    clock: f64,
-    compute: f64,
-    comm: f64,
+pub(crate) struct RankState {
+    pub(crate) pc: usize,
+    pub(crate) clock: f64,
+    pub(crate) compute: f64,
+    pub(crate) comm: f64,
     /// Sequence number of the next collective this rank will join.
-    coll_seq: usize,
+    pub(crate) coll_seq: usize,
+}
+
+impl RankState {
+    pub(crate) fn fresh() -> Self {
+        RankState {
+            pc: 0,
+            clock: 0.0,
+            compute: 0.0,
+            comm: 0.0,
+            coll_seq: 0,
+        }
+    }
+}
+
+/// Per-rank fault accounting, folded into one [`FaultStats`] in rank
+/// order at the end of a run. The `f64` sums are order-sensitive, so
+/// accumulating per sender and folding canonically makes the totals a
+/// pure function of the simulation's inputs — identical between the
+/// serial and partitioned engines regardless of scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FaultLedger {
+    pub(crate) dropped_messages: u64,
+    pub(crate) drop_events: u64,
+    pub(crate) retransmit_delay: f64,
+    pub(crate) multiplexed_messages: u64,
+    pub(crate) multiplex_delay: f64,
+}
+
+impl FaultLedger {
+    pub(crate) fn fold_into(&self, stats: &mut FaultStats) {
+        stats.dropped_messages += self.dropped_messages;
+        stats.drop_events += self.drop_events;
+        stats.retransmit_delay += self.retransmit_delay;
+        stats.multiplexed_messages += self.multiplexed_messages;
+        stats.multiplex_delay += self.multiplex_delay;
+    }
+}
+
+/// Price one message and charge the sender: fabric cost, drop +
+/// retransmit sampling, multiplex delay, the sender's CPU overhead, and
+/// all sender-side trace events. Returns the arrival time; the caller
+/// deposits it (directly into a mailbox, or into a cross-partition
+/// lane). Shared verbatim by the serial engine's `Send`/`Exchange` arms
+/// and the PDES tier, so the two cannot drift.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn charge_send<T: Tracer, F: Fabric + ?Sized>(
+    tracer: &mut T,
+    fabric: &F,
+    plan: &FaultPlan,
+    cpus: &[CpuId],
+    mux_delay: f64,
+    ledger: &mut FaultLedger,
+    state: &mut RankState,
+    r: usize,
+    to: usize,
+    bytes: u64,
+    tag: u64,
+    seq: u64,
+) -> f64 {
+    let cost = fabric.pt2pt_time(cpus[r], cpus[to], bytes);
+    let drops = plan.drops_for_message(r, to, tag, seq);
+    let posted = state.clock;
+    let mut arrival = posted + cost;
+    let mut retransmit_delay = 0.0;
+    if drops > 0 {
+        let delay = plan.retransmit_delay(drops);
+        arrival += delay;
+        retransmit_delay = delay;
+        ledger.dropped_messages += 1;
+        ledger.drop_events += drops as u64;
+        ledger.retransmit_delay += delay;
+    }
+    let muxed = mux_delay > 0.0 && cpus[r].node != cpus[to].node;
+    if muxed {
+        arrival += mux_delay;
+        ledger.multiplexed_messages += 1;
+        ledger.multiplex_delay += mux_delay;
+    }
+    // The sender re-injects once per retransmission.
+    let overhead = SEND_CPU_OVERHEAD * (drops + 1) as f64;
+    state.clock += overhead;
+    state.comm += overhead;
+    if tracer.enabled() {
+        tracer.span(r, SpanKind::Send, posted, posted + overhead);
+        if retransmit_delay > 0.0 {
+            tracer.span(
+                r,
+                SpanKind::RetransmitBackoff,
+                posted + cost,
+                posted + cost + retransmit_delay,
+            );
+        }
+        if muxed {
+            tracer.span(r, SpanKind::MultiplexQueue, arrival - mux_delay, arrival);
+        }
+        tracer.message(&MessageRecord {
+            from_rank: r,
+            to_rank: to,
+            from_node: cpus[r].node.0,
+            to_node: cpus[to].node.0,
+            bytes,
+            wire_time: cost,
+            drops,
+            retransmit_delay,
+            multiplex_delay: if muxed { mux_delay } else { 0.0 },
+        });
+        // `arrival` here and the receiver's RecvWait span end are
+        // the same computed f64, so the analyzer joins them
+        // bit-exactly.
+        tracer.edge(&CausalEdge {
+            kind: EdgeKind::Message,
+            src_rank: r,
+            src_time: posted,
+            dst_rank: to,
+            dst_time: arrival,
+            bytes,
+            wire_time: cost,
+            fault_delay: retransmit_delay + if muxed { mux_delay } else { 0.0 },
+        });
+    }
+    arrival
+}
+
+/// Apply one compute phase of `secs` (already scaled by the plan's
+/// CPU-slowdown factor): advance the clock, charge compute time, emit
+/// the span. Shared by the serial engine and the PDES tier.
+pub(crate) fn apply_compute<T: Tracer>(tracer: &mut T, state: &mut RankState, r: usize, secs: f64) {
+    let started = state.clock;
+    state.clock += secs;
+    state.compute += secs;
+    state.pc += 1;
+    if tracer.enabled() && secs > 0.0 {
+        tracer.span(r, SpanKind::Compute, started, state.clock);
+    }
+}
+
+/// Complete a blocking receive whose matching message arrives at
+/// `arrival`: emit the wait span, charge comm time, advance the clock
+/// and pc. One helper for the `Recv` arm, the recv half of `Exchange`,
+/// and the PDES tier — previously three copies of the same block.
+pub(crate) fn finish_recv<T: Tracer>(
+    tracer: &mut T,
+    state: &mut RankState,
+    r: usize,
+    arrival: f64,
+) {
+    let done = state.clock.max(arrival);
+    if tracer.enabled() && done > state.clock {
+        tracer.span(r, SpanKind::RecvWait, state.clock, done);
+    }
+    state.comm += done - state.clock;
+    state.clock = done;
+    state.pc += 1;
+}
+
+/// The closed-form cost of one collective op.
+pub(crate) fn collective_cost<F: Fabric + ?Sized>(op: Op, fabric: &F, cpus: &[CpuId]) -> f64 {
+    match op {
+        Op::Barrier => collectives::barrier(fabric, cpus),
+        Op::AllReduce { bytes } => collectives::allreduce(fabric, cpus, bytes),
+        Op::AllToAll { bytes_per_pair } => collectives::alltoall(fabric, cpus, bytes_per_pair),
+        Op::Bcast { bytes, .. } => collectives::bcast(fabric, cpus, bytes),
+        _ => unreachable!("not a collective"),
+    }
+}
+
+/// Per-pair payload a collective's causal edges report.
+pub(crate) fn collective_payload(op: Op) -> u64 {
+    match op {
+        Op::AllReduce { bytes } | Op::Bcast { bytes, .. } => bytes,
+        Op::AllToAll { bytes_per_pair } => bytes_per_pair,
+        _ => 0,
+    }
+}
+
+/// Causal source of a collective release: the broadcast root, or the
+/// straggler whose arrival set the start time (lowest rank on ties).
+/// `clocks` must be in rank order.
+pub(crate) fn collective_source(op: Op, clocks: impl Iterator<Item = f64>) -> usize {
+    if let Op::Bcast { root, .. } = op {
+        return root;
+    }
+    let mut src = 0usize;
+    let mut best: Option<f64> = None;
+    for (i, c) in clocks.enumerate() {
+        match best {
+            Some(b) if c <= b => {}
+            Some(_) => {
+                best = Some(c);
+                src = i;
+            }
+            None => best = Some(c),
+        }
+    }
+    src
+}
+
+/// Release rank `i` from a collective that runs `[start, start+cost]`:
+/// emit its span and causal edge, charge comm time, advance clock,
+/// collective sequence, and pc. `done == end` except under a broadcast,
+/// where a rank already past the root-driven finish keeps its own
+/// clock. Shared by the serial release loop and the PDES rendezvous.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_collective_release<T: Tracer>(
+    tracer: &mut T,
+    state: &mut RankState,
+    i: usize,
+    start: f64,
+    cost: f64,
+    end: f64,
+    coll_src: usize,
+    coll_bytes: u64,
+) {
+    let done = state.clock.max(end);
+    if tracer.enabled() && done > state.clock {
+        tracer.span(i, SpanKind::Collective, state.clock, done);
+        tracer.edge(&CausalEdge {
+            kind: EdgeKind::Collective,
+            src_rank: coll_src,
+            src_time: start,
+            dst_rank: i,
+            dst_time: done,
+            bytes: coll_bytes,
+            wire_time: cost,
+            fault_delay: 0.0,
+        });
+    }
+    state.comm += done - state.clock;
+    state.clock = done;
+    state.coll_seq += 1;
+    state.pc += 1;
 }
 
 /// Simulate `programs` (one per rank) placed on `cpus` over `fabric`.
@@ -167,7 +400,7 @@ fn connections_required(procs: usize, n_nodes: usize) -> u64 {
 /// Check the placement against the plan's connection limit. Returns the
 /// per-inter-node-message queuing delay (0.0 when within budget or no
 /// limit), the worst oversubscription ratio, or the exhaustion error.
-fn connection_check(cpus: &[CpuId], plan: &FaultPlan) -> Result<(f64, f64), SimError> {
+pub(crate) fn connection_check(cpus: &[CpuId], plan: &FaultPlan) -> Result<(f64, f64), SimError> {
     let Some(limit) = &plan.connection_limit else {
         return Ok((0.0, 0.0));
     };
@@ -268,13 +501,19 @@ pub fn simulate_on<P, F>(
     plan: &FaultPlan,
 ) -> Result<SimOutcome, SimError>
 where
-    P: Programs + ?Sized,
-    F: Fabric + ?Sized,
+    P: Programs + ?Sized + Sync,
+    F: Fabric + ?Sized + Sync,
 {
     simulate_traced_on(programs, cpus, fabric, plan, &mut NullTracer)
 }
 
 /// [`simulate_on`] under an arbitrary [`Tracer`].
+///
+/// When [`crate::pdes::sim_threads`] is above 1 this dispatches to the
+/// conservative-PDES tier ([`crate::pdes::simulate_parallel_traced_on`])
+/// — bit-identical outcomes and trace streams, just computed by
+/// node-partitioned workers. `P` and `F` are `Sync` so the partitions
+/// can share them; the `&dyn Fabric` entry points above stay serial.
 pub fn simulate_traced_on<T, P, F>(
     programs: &P,
     cpus: &[CpuId],
@@ -284,10 +523,15 @@ pub fn simulate_traced_on<T, P, F>(
 ) -> Result<SimOutcome, SimError>
 where
     T: Tracer,
-    P: Programs + ?Sized,
-    F: Fabric + ?Sized,
+    P: Programs + ?Sized + Sync,
+    F: Fabric + ?Sized + Sync,
 {
-    simulate_generic::<T, IndexedMailbox, P, F>(programs, cpus, fabric, plan, tracer)
+    let threads = crate::pdes::sim_threads();
+    if threads > 1 {
+        crate::pdes::simulate_parallel_traced_on(programs, cpus, fabric, plan, tracer, threads)
+    } else {
+        simulate_generic::<T, IndexedMailbox, P, F>(programs, cpus, fabric, plan, tracer)
+    }
 }
 
 /// [`simulate_with_faults`] on the original `HashMap`-keyed mailbox
@@ -310,7 +554,30 @@ pub fn simulate_reference_mailbox(
     )
 }
 
-fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + ?Sized>(
+pub(crate) fn simulate_generic<
+    T: Tracer,
+    M: MailboxOps,
+    P: Programs + ?Sized,
+    F: Fabric + ?Sized,
+>(
+    programs: &P,
+    cpus: &[CpuId],
+    base_fabric: &F,
+    plan: &FaultPlan,
+    tracer: &mut T,
+) -> Result<SimOutcome, SimError> {
+    // Deliver trace events in canonical per-rank order (see
+    // `columbia_obs::canon`): the scheduler's emission interleaving is
+    // an implementation detail, and the partitioned engine must be able
+    // to reproduce the stream byte-for-byte. Flushed on every exit path
+    // past this point, so mid-run errors still surface their events.
+    let mut canon = CanonicalTracer::new(tracer, programs.n_ranks());
+    let result = simulate_core::<_, M, P, F>(programs, cpus, base_fabric, plan, &mut canon);
+    canon.flush();
+    result
+}
+
+fn simulate_core<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + ?Sized>(
     programs: &P,
     cpus: &[CpuId],
     base_fabric: &F,
@@ -342,20 +609,11 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
     let event_budget = plan
         .event_budget
         .unwrap_or_else(|| 10_000 + 64 * total_ops as u64);
-    let mut stats = FaultStats {
-        oversubscription,
-        ..FaultStats::default()
-    };
 
-    let mut states: Vec<RankState> = (0..n)
-        .map(|_| RankState {
-            pc: 0,
-            clock: 0.0,
-            compute: 0.0,
-            comm: 0.0,
-            coll_seq: 0,
-        })
-        .collect();
+    let mut states: Vec<RankState> = (0..n).map(|_| RankState::fresh()).collect();
+    // Per-sender fault accounting, folded canonically at the end so the
+    // f64 sums are schedule-independent.
+    let mut ledgers: Vec<FaultLedger> = vec![FaultLedger::default(); n];
     // In-flight messages: arrival times per (from, to, tag) channel,
     // FIFO per channel (MPI ordering). The channel also carries the
     // send sequence number the fault sampling keys off
@@ -376,80 +634,33 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
     runnable.extend(0..n);
     let mut in_queue = vec![true; n];
 
-    // Posts one message and returns its arrival time at the receiver,
-    // applying drop/retransmit and multiplex delays; also charges the
-    // sender. Shared by Send and the send half of Exchange.
+    // Posts one message: price and charge it via the shared
+    // [`charge_send`] helper, then deposit the arrival on the channel.
+    // Shared by Send and the send half of Exchange.
     let post_send = |states: &mut Vec<RankState>,
                      mailbox: &mut M,
-                     stats: &mut FaultStats,
+                     ledgers: &mut Vec<FaultLedger>,
                      tracer: &mut T,
                      r: usize,
                      to: usize,
                      bytes: u64,
                      tag: u64| {
-        let cost = fabric.pt2pt_time(cpus[r], cpus[to], bytes);
         let seq = mailbox.next_seq(r, to, tag);
-        let drops = plan.drops_for_message(r, to, tag, seq);
-        let posted = states[r].clock;
-        let mut arrival = posted + cost;
-        let mut retransmit_delay = 0.0;
-        if drops > 0 {
-            let delay = plan.retransmit_delay(drops);
-            arrival += delay;
-            retransmit_delay = delay;
-            stats.dropped_messages += 1;
-            stats.drop_events += drops as u64;
-            stats.retransmit_delay += delay;
-        }
-        let muxed = mux_delay > 0.0 && cpus[r].node != cpus[to].node;
-        if muxed {
-            arrival += mux_delay;
-            stats.multiplexed_messages += 1;
-            stats.multiplex_delay += mux_delay;
-        }
+        let arrival = charge_send(
+            tracer,
+            fabric,
+            plan,
+            cpus,
+            mux_delay,
+            &mut ledgers[r],
+            &mut states[r],
+            r,
+            to,
+            bytes,
+            tag,
+            seq,
+        );
         mailbox.push(r, to, tag, arrival);
-        // The sender re-injects once per retransmission.
-        let overhead = SEND_CPU_OVERHEAD * (drops + 1) as f64;
-        states[r].clock += overhead;
-        states[r].comm += overhead;
-        if tracer.enabled() {
-            tracer.span(r, SpanKind::Send, posted, posted + overhead);
-            if retransmit_delay > 0.0 {
-                tracer.span(
-                    r,
-                    SpanKind::RetransmitBackoff,
-                    posted + cost,
-                    posted + cost + retransmit_delay,
-                );
-            }
-            if muxed {
-                tracer.span(r, SpanKind::MultiplexQueue, arrival - mux_delay, arrival);
-            }
-            tracer.message(&MessageRecord {
-                from_rank: r,
-                to_rank: to,
-                from_node: cpus[r].node.0,
-                to_node: cpus[to].node.0,
-                bytes,
-                wire_time: cost,
-                drops,
-                retransmit_delay,
-                multiplex_delay: if muxed { mux_delay } else { 0.0 },
-            });
-            // `arrival` here and the receiver's RecvWait span end are
-            // the same computed f64, so the analyzer joins them
-            // bit-exactly.
-            tracer.edge(&CausalEdge {
-                kind: EdgeKind::Message,
-                src_rank: r,
-                src_time: posted,
-                dst_rank: to,
-                dst_time: arrival,
-                bytes,
-                wire_time: cost,
-                fault_delay: retransmit_delay + if muxed { mux_delay } else { 0.0 },
-            });
-        }
     };
 
     // Each pop executes at least one op or blocks; total ops bound the
@@ -468,20 +679,18 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
             }
             match op {
                 Op::Compute(secs) => {
-                    let secs = secs * plan.compute_factor(cpus[r]);
-                    let started = states[r].clock;
-                    states[r].clock += secs;
-                    states[r].compute += secs;
-                    states[r].pc += 1;
-                    if tracer.enabled() && secs > 0.0 {
-                        tracer.span(r, SpanKind::Compute, started, states[r].clock);
-                    }
+                    apply_compute(
+                        tracer,
+                        &mut states[r],
+                        r,
+                        secs * plan.compute_factor(cpus[r]),
+                    );
                 }
                 Op::Send { to, bytes, tag } => {
                     post_send(
                         &mut states,
                         &mut mailbox,
-                        &mut stats,
+                        &mut ledgers,
                         tracer,
                         r,
                         to,
@@ -497,15 +706,7 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
                 }
                 Op::Recv { from, tag } => {
                     match mailbox.pop(from, r, tag) {
-                        Some(arrival) => {
-                            let done = states[r].clock.max(arrival);
-                            if tracer.enabled() && done > states[r].clock {
-                                tracer.span(r, SpanKind::RecvWait, states[r].clock, done);
-                            }
-                            states[r].comm += done - states[r].clock;
-                            states[r].clock = done;
-                            states[r].pc += 1;
-                        }
+                        Some(arrival) => finish_recv(tracer, &mut states[r], r, arrival),
                         None => break, // blocked: wait for the send
                     }
                 }
@@ -518,7 +719,7 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
                     let marker_tag = half_exchange_tag(w, t);
                     let already_sent = mailbox.pop(r, r, marker_tag).is_some();
                     if !already_sent {
-                        post_send(&mut states, &mut mailbox, &mut stats, tracer, r, w, b, t);
+                        post_send(&mut states, &mut mailbox, &mut ledgers, tracer, r, w, b, t);
                         if !in_queue[w] {
                             runnable.push_back(w);
                             in_queue[w] = true;
@@ -526,15 +727,7 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
                     }
                     // Wait for the partner's half.
                     match mailbox.pop(w, r, t) {
-                        Some(arrival) => {
-                            let done = states[r].clock.max(arrival);
-                            if tracer.enabled() && done > states[r].clock {
-                                tracer.span(r, SpanKind::RecvWait, states[r].clock, done);
-                            }
-                            states[r].comm += done - states[r].clock;
-                            states[r].clock = done;
-                            states[r].pc += 1;
-                        }
+                        Some(arrival) => finish_recv(tracer, &mut states[r], r, arrival),
                         None => {
                             mailbox.push(r, r, marker_tag, 0.0);
                             break;
@@ -553,73 +746,28 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
                         // a broadcast is driven by its root's clock
                         // (ranks arriving after the root has fed the
                         // tree are not charged extra wait).
-                        let (start, cost) = match op {
-                            Op::Barrier => (
-                                states.iter().map(|s| s.clock).fold(0.0, f64::max),
-                                collectives::barrier(fabric, cpus),
-                            ),
-                            Op::AllReduce { bytes } => (
-                                states.iter().map(|s| s.clock).fold(0.0, f64::max),
-                                collectives::allreduce(fabric, cpus, bytes),
-                            ),
-                            Op::AllToAll { bytes_per_pair } => (
-                                states.iter().map(|s| s.clock).fold(0.0, f64::max),
-                                collectives::alltoall(fabric, cpus, bytes_per_pair),
-                            ),
-                            Op::Bcast { root, bytes } => {
-                                (states[root].clock, collectives::bcast(fabric, cpus, bytes))
-                            }
-                            _ => unreachable!(),
+                        let start = match op {
+                            Op::Bcast { root, .. } => states[root].clock,
+                            _ => states.iter().map(|s| s.clock).fold(0.0, f64::max),
                         };
+                        let cost = collective_cost(op, fabric, cpus);
                         let end = start + cost;
                         coll_count = 0;
                         // Causal source of the release: the straggler
                         // whose arrival set `start` (lowest rank on
                         // ties), or the root for a broadcast.
                         let (coll_src, coll_bytes) = if tracer.enabled() {
-                            let src = match op {
-                                Op::Bcast { root, .. } => root,
-                                _ => {
-                                    let mut src = 0usize;
-                                    for (i, s) in states.iter().enumerate() {
-                                        if s.clock > states[src].clock {
-                                            src = i;
-                                        }
-                                    }
-                                    src
-                                }
-                            };
-                            let bytes = match op {
-                                Op::AllReduce { bytes } | Op::Bcast { bytes, .. } => bytes,
-                                Op::AllToAll { bytes_per_pair } => bytes_per_pair,
-                                _ => 0,
-                            };
-                            (src, bytes)
+                            (
+                                collective_source(op, states.iter().map(|s| s.clock)),
+                                collective_payload(op),
+                            )
                         } else {
                             (0, 0)
                         };
                         for (i, s) in states.iter_mut().enumerate() {
-                            // `done == end` except under a broadcast,
-                            // where a rank already past the root-driven
-                            // finish keeps its own clock.
-                            let done = s.clock.max(end);
-                            if tracer.enabled() && done > s.clock {
-                                tracer.span(i, SpanKind::Collective, s.clock, done);
-                                tracer.edge(&CausalEdge {
-                                    kind: EdgeKind::Collective,
-                                    src_rank: coll_src,
-                                    src_time: start,
-                                    dst_rank: i,
-                                    dst_time: done,
-                                    bytes: coll_bytes,
-                                    wire_time: cost,
-                                    fault_delay: 0.0,
-                                });
-                            }
-                            s.comm += done - s.clock;
-                            s.clock = done;
-                            s.coll_seq += 1;
-                            s.pc += 1;
+                            apply_collective_release(
+                                tracer, s, i, start, cost, end, coll_src, coll_bytes,
+                            );
                             if i != r && !in_queue[i] {
                                 runnable.push_back(i);
                                 in_queue[i] = true;
@@ -634,8 +782,6 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
             }
         }
     }
-    stats.events = events;
-
     if states
         .iter()
         .enumerate()
@@ -658,6 +804,15 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
         return Err(SimError::Deadlock(DeadlockReport { stuck }));
     }
 
+    let mut stats = FaultStats {
+        oversubscription,
+        ..FaultStats::default()
+    };
+    for ledger in &ledgers {
+        ledger.fold_into(&mut stats);
+    }
+    stats.events = events;
+
     let ranks: Vec<RankResult> = states
         .iter()
         .map(|s| RankResult {
@@ -676,7 +831,7 @@ fn simulate_generic<T: Tracer, M: MailboxOps, P: Programs + ?Sized, F: Fabric + 
 
 /// Tag used by the marker message-to-self that records a half-done
 /// exchange (send half out, recv half still blocked).
-fn half_exchange_tag(with: usize, tag: u64) -> u64 {
+pub(crate) fn half_exchange_tag(with: usize, tag: u64) -> u64 {
     (tag ^ ((with as u64) << 32)) | HALF_EXCHANGE_BIT
 }
 

@@ -419,6 +419,12 @@ impl<F: Fabric + ?Sized> Fabric for FaultyFabric<'_, F> {
         self.inner.internode_contention(flows)
     }
 
+    fn min_cross_node_latency(&self, cpus: &[CpuId]) -> Option<f64> {
+        // Link faults only multiply latencies by factors ≥ 1, so the
+        // inner fabric's lower bound stays conservative under faults.
+        self.inner.min_cross_node_latency(cpus)
+    }
+
     fn alltoall_bandwidth(&self, cpus: &[CpuId]) -> f64 {
         let base = self.inner.alltoall_bandwidth(cpus);
         // A degraded link throttles the collective to its worst leg.

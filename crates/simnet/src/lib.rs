@@ -26,7 +26,12 @@
 //!   retransmission), degrade or fail links, slow CPUs, and enforce the
 //!   §2 InfiniBand per-card connection limit with graceful multiplexing;
 //! * [`error`] — the typed [`error::SimError`] every failure surfaces
-//!   as, including a per-rank [`error::DeadlockReport`].
+//!   as, including a per-rank [`error::DeadlockReport`];
+//! * [`pdes`] — a conservative parallel (PDES) tier that partitions
+//!   ranks by node and synchronizes on the fabric's minimum cross-node
+//!   latency, producing bit-identical outcomes, reports, and traces at
+//!   any thread count ([`simulate_parallel_on`], `repro
+//!   --sim-threads`).
 //!
 //! The engine is instrumented: [`simulate_traced`] reports every span
 //! of virtual time (compute, send, recv-wait, collective, plus
@@ -45,6 +50,7 @@ pub mod fabric;
 pub mod fault;
 pub mod mailbox;
 pub mod patterns;
+pub mod pdes;
 pub mod program;
 
 pub use columbia_obs as obs;
@@ -58,4 +64,5 @@ pub use fault::{
     ConnectionLimit, ConnectionPolicy, CpuSlowdown, FaultPlan, FaultStats, FaultyFabric, LinkFault,
     LinkState, RetransmitPolicy,
 };
+pub use pdes::{set_sim_threads, sim_threads, simulate_parallel_on, simulate_parallel_traced_on};
 pub use program::{ByteRule, Peer, ProgramSet, Programs, SpmdOp};

@@ -49,6 +49,7 @@ fn manifest_for(exp: Experiment, jobs: usize, wall: f64) -> RunManifest {
         wall_time_seconds: wall,
         git_rev: columbia::manifest::git_rev(),
         host_metrics: None,
+        sim_threads: 1,
     })
 }
 
@@ -106,6 +107,7 @@ fn spec_manifest_entries_pin_spec_hash_and_points_in_the_stable_part() {
             wall_time_seconds: wall,
             git_rev: columbia::manifest::git_rev(),
             host_metrics: None,
+            sim_threads: 1,
         })
     };
 

@@ -1,0 +1,401 @@
+//! Serial-vs-parallel identity of the conservative PDES tier.
+//!
+//! The contract under test: [`simulate_parallel_on`] (and its traced
+//! variant) is **bit-identical** to the serial engine for every
+//! program set, placement, fabric, fault plan, and thread count —
+//! same `f64` clocks, same fault accounting, same trace spans and
+//! causal edges after the canonical per-rank merge, same errors.
+//!
+//! Two layers:
+//!
+//! * a proptest over randomly generated phase-structured workloads
+//!   (compute, ring send/recv, pairwise exchange, all four
+//!   collectives) on random heterogeneous clusters with random fault
+//!   plans, checked at sim-threads 2, 3, and 7;
+//! * directed edge cases: the zero-lookahead / single-partition
+//!   fallback, empty programs, spec-key and CLI plumbing.
+//!
+//! The outcome comparison is exact (`f64::to_bits`) except for
+//! `FaultStats::events`, the scheduler-event *count*: re-examinations
+//! of blocked ops depend on worklist order, which is the one
+//! documented engine-dependent statistic. It never reaches a report.
+
+use columbia::machine::cluster::{ClusterConfig, CpuId, InterNodeFabric, NodeId};
+use columbia::machine::node::NodeKind;
+use columbia::obs::RecordingTracer;
+use columbia::simnet::fabric::{CachedFabric, ClusterFabric, Fabric, MptVersion};
+use columbia::simnet::{
+    simulate_on, simulate_parallel_on, simulate_parallel_traced_on, simulate_traced_on, FaultPlan,
+    Op, SimOutcome,
+};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// One per-phase instruction shared (in shape) by every rank, so the
+/// generated collective sequences are globally consistent — the same
+/// contract MPI programs obey.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Per-rank compute, seconds scaled by `1 + rank`.
+    Compute(f64),
+    /// Ring: send `bytes` to `(r + 1) % n`, receive from the left.
+    Ring {
+        bytes: u64,
+        tag: u64,
+    },
+    /// Pairwise exchange with `r ^ 1` (only generated for even `n`).
+    Exchange {
+        bytes: u64,
+        tag: u64,
+    },
+    Barrier,
+    AllReduce {
+        bytes: u64,
+    },
+    AllToAll {
+        bytes_per_pair: u64,
+    },
+    Bcast {
+        bytes: u64,
+    },
+}
+
+/// Uniform choice over the seven phase shapes with random payloads.
+#[derive(Debug, Clone)]
+struct PhaseStrategy;
+
+impl Strategy for PhaseStrategy {
+    type Value = Phase;
+
+    fn generate(&self, rng: &mut TestRng) -> Phase {
+        match rng.next_u64() % 7 {
+            0 => Phase::Compute(1e-7 + rng.next_f64() * 1e-4),
+            1 => Phase::Ring {
+                bytes: 1 + rng.next_u64() % 65535,
+                tag: rng.next_u64() % 8,
+            },
+            2 => Phase::Exchange {
+                bytes: 1 + rng.next_u64() % 32767,
+                tag: 8 + rng.next_u64() % 8,
+            },
+            3 => Phase::Barrier,
+            4 => Phase::AllReduce {
+                bytes: 1 + rng.next_u64() % 4095,
+            },
+            5 => Phase::AllToAll {
+                bytes_per_pair: 1 + rng.next_u64() % 511,
+            },
+            _ => Phase::Bcast {
+                bytes: 1 + rng.next_u64() % 65535,
+            },
+        }
+    }
+}
+
+/// Expand a phase list into explicit per-rank programs.
+fn programs_for(phases: &[Phase], n: usize, bcast_root: usize) -> Vec<Vec<Op>> {
+    (0..n)
+        .map(|r| {
+            let mut ops = Vec::new();
+            for phase in phases {
+                match phase {
+                    Phase::Compute(s) => ops.push(Op::Compute(s * (1.0 + r as f64))),
+                    Phase::Ring { bytes, tag } => {
+                        ops.push(Op::Send {
+                            to: (r + 1) % n,
+                            bytes: *bytes,
+                            tag: *tag,
+                        });
+                        ops.push(Op::Recv {
+                            from: (r + n - 1) % n,
+                            tag: *tag,
+                        });
+                    }
+                    Phase::Exchange { bytes, tag } => {
+                        if n.is_multiple_of(2) {
+                            ops.push(Op::Exchange {
+                                with: r ^ 1,
+                                bytes: *bytes,
+                                tag: *tag,
+                            });
+                        }
+                    }
+                    Phase::Barrier => ops.push(Op::Barrier),
+                    Phase::AllReduce { bytes } => ops.push(Op::AllReduce { bytes: *bytes }),
+                    Phase::AllToAll { bytes_per_pair } => ops.push(Op::AllToAll {
+                        bytes_per_pair: *bytes_per_pair,
+                    }),
+                    Phase::Bcast { bytes } => ops.push(Op::Bcast {
+                        root: bcast_root % n,
+                        bytes: *bytes,
+                    }),
+                }
+            }
+            ops
+        })
+        .collect()
+}
+
+/// A heterogeneous cluster over the given node kinds, every node
+/// populated with `per_node` ranks, interleaved so neighbours in rank
+/// order sit on different nodes (maximum cross-partition traffic).
+fn placement(kinds: &[NodeKind], per_node: usize) -> (CachedFabric, Vec<CpuId>) {
+    let n_nodes = kinds.len();
+    let config = ClusterConfig {
+        nodes: kinds.to_vec(),
+        numalink4_subsystem: (0..n_nodes as u32)
+            .filter(|&i| kinds[i as usize] != NodeKind::Altix3700)
+            .map(NodeId)
+            .collect(),
+        ib_cards_per_node: 8,
+        ib_connections_per_card: 64 * 1024,
+    };
+    let ranks = (n_nodes * per_node) as u32;
+    let fabric = CachedFabric::new(ClusterFabric::new(
+        config,
+        InterNodeFabric::InfiniBand,
+        MptVersion::Beta,
+        ranks,
+    ));
+    let cpus = (0..ranks)
+        .map(|r| CpuId::new(r % n_nodes as u32, r / n_nodes as u32))
+        .collect();
+    (fabric, cpus)
+}
+
+/// Bit-exact outcome equality, modulo the documented scheduler-event
+/// count.
+fn assert_outcomes_identical(s: &SimOutcome, p: &SimOutcome) {
+    assert_eq!(s.makespan.to_bits(), p.makespan.to_bits(), "makespan");
+    assert_eq!(s.ranks.len(), p.ranks.len());
+    for (r, (a, b)) in s.ranks.iter().zip(&p.ranks).enumerate() {
+        assert_eq!(a.total.to_bits(), b.total.to_bits(), "rank {r} total");
+        assert_eq!(a.compute.to_bits(), b.compute.to_bits(), "rank {r} compute");
+        assert_eq!(a.comm.to_bits(), b.comm.to_bits(), "rank {r} comm");
+    }
+    let (mut sf, mut pf) = (s.faults, p.faults);
+    sf.events = 0;
+    pf.events = 0;
+    assert_eq!(format!("{sf:?}"), format!("{pf:?}"), "fault stats");
+}
+
+fn kinds_strategy() -> impl Strategy<Value = Vec<NodeKind>> {
+    prop::collection::vec(
+        prop::sample::select(vec![NodeKind::Altix3700, NodeKind::Bx2a, NodeKind::Bx2b]),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole property: arbitrary workload × cluster × faults ×
+    /// thread count, serial and parallel agree bit for bit — outcomes
+    /// *and* drained traces.
+    #[test]
+    fn parallel_engine_is_bit_identical_to_serial(
+        kinds in kinds_strategy(),
+        per_node in 1usize..4,
+        phases in prop::collection::vec(PhaseStrategy, 1..10),
+        bcast_root in 0usize..16,
+        drop_sel in 0u64..3,
+        drop_seed in 1u64..1000,
+        drop_prob in 0.01f64..0.4,
+    ) {
+        let (fabric, cpus) = placement(&kinds, per_node);
+        let n = cpus.len();
+        let programs = programs_for(&phases, n, bcast_root);
+        let plan = if drop_sel > 0 {
+            FaultPlan::with_drops(drop_seed, drop_prob)
+        } else {
+            FaultPlan::none()
+        };
+        let mut serial_trace = RecordingTracer::default();
+        let serial = simulate_traced_on(&programs, &cpus, &fabric, &plan, &mut serial_trace)
+            .expect("generated workloads never deadlock");
+        for threads in [2usize, 3, 7] {
+            let parallel = simulate_parallel_on(&programs, &cpus, &fabric, &plan, threads)
+                .expect("parallel run of a deadlock-free workload");
+            assert_outcomes_identical(&serial, &parallel);
+            let mut parallel_trace = RecordingTracer::default();
+            let traced = simulate_parallel_traced_on(
+                &programs, &cpus, &fabric, &plan, &mut parallel_trace, threads,
+            )
+            .expect("traced parallel run");
+            assert_outcomes_identical(&serial, &traced);
+            prop_assert_eq!(&serial_trace.spans, &parallel_trace.spans);
+            prop_assert_eq!(&serial_trace.edges, &parallel_trace.edges);
+            prop_assert_eq!(&serial_trace.rank_nodes, &parallel_trace.rank_nodes);
+            prop_assert_eq!(&serial_trace.metrics, &parallel_trace.metrics);
+        }
+    }
+
+    /// Deadlocks report the identical stuck set at any thread count.
+    #[test]
+    fn deadlock_reports_are_identical(
+        kinds in kinds_strategy(),
+        per_node in 1usize..4,
+        victim_seed in 0usize..64,
+    ) {
+        let (fabric, cpus) = placement(&kinds, per_node);
+        let n = cpus.len();
+        // Every rank recvs a message nobody sends — except the victim,
+        // which jumps straight to a barrier the others never reach.
+        let victim = victim_seed % n;
+        let programs: Vec<Vec<Op>> = (0..n)
+            .map(|r| {
+                if r == victim {
+                    vec![Op::Barrier]
+                } else {
+                    vec![Op::Recv { from: victim, tag: 42 }, Op::Barrier]
+                }
+            })
+            .collect();
+        let plan = FaultPlan::none();
+        let serial = simulate_on(&programs, &cpus, &fabric, &plan);
+        for threads in [2usize, 3, 7] {
+            let parallel = simulate_parallel_on(&programs, &cpus, &fabric, &plan, threads);
+            prop_assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+        }
+    }
+}
+
+/// Zero-lookahead edge case: every rank on one node means a single
+/// partition and no cross-node latency bound — the parallel entry
+/// point must degrade to the serial engine (and agree with it).
+#[test]
+fn single_partition_falls_back_to_serial() {
+    let (fabric, cpus) = placement(&[NodeKind::Bx2b], 6);
+    let phases = [
+        Phase::Compute(1e-5),
+        Phase::Ring {
+            bytes: 4096,
+            tag: 1,
+        },
+        Phase::Exchange { bytes: 512, tag: 9 },
+        Phase::AllReduce { bytes: 64 },
+    ];
+    let programs = programs_for(&phases, cpus.len(), 0);
+    let serial = simulate_on(&programs, &cpus, &fabric, &FaultPlan::none()).unwrap();
+    let parallel = simulate_parallel_on(&programs, &cpus, &fabric, &FaultPlan::none(), 8).unwrap();
+    assert_outcomes_identical(&serial, &parallel);
+}
+
+/// A fabric that never quotes a cross-node bound (the trait default)
+/// must also take the serial path, whatever the placement.
+#[test]
+fn fabric_without_lookahead_falls_back_to_serial() {
+    struct NoBound;
+    impl Fabric for NoBound {
+        fn latency(&self, src: CpuId, dst: CpuId) -> f64 {
+            if src.node == dst.node {
+                1e-6
+            } else {
+                1e-5
+            }
+        }
+        fn bandwidth(&self, _src: CpuId, _dst: CpuId) -> f64 {
+            1e9
+        }
+        fn internode_contention(&self, _flows: u32) -> f64 {
+            1.0
+        }
+    }
+    let cpus: Vec<CpuId> = (0..8).map(|r| CpuId::new(r % 4, r / 4)).collect();
+    let phases = [
+        Phase::Ring {
+            bytes: 1024,
+            tag: 3,
+        },
+        Phase::Barrier,
+    ];
+    let programs = programs_for(&phases, cpus.len(), 0);
+    assert!(NoBound.min_cross_node_latency(&cpus).is_none());
+    let serial = simulate_on(&programs, &cpus, &NoBound, &FaultPlan::none()).unwrap();
+    let parallel = simulate_parallel_on(&programs, &cpus, &NoBound, &FaultPlan::none(), 4).unwrap();
+    assert_outcomes_identical(&serial, &parallel);
+}
+
+/// Empty program sets succeed identically (no ranks, no partitions).
+#[test]
+fn empty_program_set_is_identical() {
+    let (fabric, _) = placement(&[NodeKind::Bx2b], 1);
+    let programs: Vec<Vec<Op>> = Vec::new();
+    let cpus: Vec<CpuId> = Vec::new();
+    let serial = simulate_on(&programs, &cpus, &fabric, &FaultPlan::none()).unwrap();
+    let parallel = simulate_parallel_on(&programs, &cpus, &fabric, &FaultPlan::none(), 4).unwrap();
+    assert_outcomes_identical(&serial, &parallel);
+}
+
+/// The `[defaults] sim_threads` spec key decodes, round-trips through
+/// the canonical emission, rejects invalid values, and lands on the
+/// compiled plan (outside the fingerprint, so checkpoints survive).
+#[test]
+fn spec_sim_threads_key_round_trips_and_compiles() {
+    let text = r#"
+schema = "columbia-spec-v1"
+
+[report]
+id = "b_eff"
+title = "pdes spec plumbing"
+headers = ["pattern", "node", "CPUs", "latency", "bandwidth GB/s"]
+
+[defaults]
+sim_threads = 4
+
+[[sweep]]
+kind = "beff-in-node"
+cpus = [4]
+node = "BX2b"
+row = ["{pattern}", "{node}", "{cpus}", "{latency}", "{bandwidth}"]
+"#;
+    let spec = columbia::spec::load_str(text).expect("spec decodes");
+    assert_eq!(spec.sim_threads, Some(4));
+    let emitted = spec.to_toml();
+    assert!(
+        emitted.contains("sim_threads = 4"),
+        "canonical emission keeps the key:\n{emitted}"
+    );
+    let reparsed = columbia::spec::load_str(&emitted).expect("emission re-decodes");
+    assert_eq!(reparsed.sim_threads, Some(4));
+
+    let plan = columbia::compile(&spec).expect("spec compiles");
+    assert_eq!(plan.sim_threads, Some(4));
+    let mut serial_shape = plan;
+    serial_shape.sim_threads = None;
+    assert_eq!(
+        columbia::compile(&reparsed).unwrap().fingerprint(),
+        serial_shape.fingerprint(),
+        "sim_threads must not perturb the plan fingerprint"
+    );
+
+    let bad = text.replace("sim_threads = 4", "sim_threads = 0");
+    assert!(
+        columbia::spec::load_str(&bad).is_err(),
+        "sim_threads = 0 must be rejected"
+    );
+}
+
+/// The global thread-count switch drives the statically-dispatched
+/// traced entry point (the one every experiment and spec run uses).
+#[test]
+fn global_sim_threads_parallelizes_simulate_traced_on() {
+    use columbia::simnet::{set_sim_threads, sim_threads};
+    let (fabric, cpus) = placement(&[NodeKind::Bx2b, NodeKind::Altix3700], 3);
+    let phases = [
+        Phase::Compute(2e-5),
+        Phase::Ring {
+            bytes: 2048,
+            tag: 5,
+        },
+        Phase::Bcast { bytes: 8192 },
+    ];
+    let programs = programs_for(&phases, cpus.len(), 0);
+    let plan = FaultPlan::none();
+    let serial = simulate_on(&programs, &cpus, &fabric, &plan).unwrap();
+    set_sim_threads(4);
+    assert_eq!(sim_threads(), 4);
+    let via_global = simulate_on(&programs, &cpus, &fabric, &plan).unwrap();
+    set_sim_threads(1);
+    assert_outcomes_identical(&serial, &via_global);
+}
